@@ -1,0 +1,99 @@
+"""Ablation E — fixed vs quantile-adaptive subclass penalty edges.
+
+The paper hard-codes five penalty ranges tuned to Facebook-like
+penalty spreads.  On a workload whose penalties cluster inside one of
+those ranges, fixed binning collapses every item into a single
+subclass; the adaptive extension (:mod:`repro.core.adaptive`) learns
+edges at observed quantiles and keeps five populated subclasses.
+
+**Finding (negative result, kept on purpose):** recovering the
+stratification does *not* pay at these scales.  Splitting a class into
+five subclasses fragments its slab budget (ghosts, per-queue slack,
+coarser migration granularity), and when penalties only span a decade
+the value differences cannot buy that back — single-bin PAMA (which
+degenerates toward hit-ratio optimisation) wins.  The paper's coarse
+fixed ranges are therefore a *robust* choice, not a limitation: bins
+should separate decades, not quantiles.  The bench asserts the
+mechanics (bins collapse/recover) and bounds the adaptive variant's
+cost, rather than claiming a win for it.
+"""
+
+from dataclasses import replace as dc_replace
+
+from benchmarks.conftest import ETC_SCALE, SEED, base_spec, write_csv
+from repro._util import MIB
+from repro.sim import run_comparison
+from repro.sim.report import format_table
+from repro.traces import ETC, generate
+from repro.traces.penalty import PenaltyModel
+from repro.traces.synthetic import SyntheticTraceGenerator
+
+CACHE = 16 * MIB
+POLICIES = ["pama", "pama-adaptive"]
+
+
+def clustered_trace(n=400_000):
+    """ETC-like trace whose penalties all land in one fixed bin.
+
+    base 30 ms, sigma 0.35 → ~99% of penalties inside (10ms, 100ms],
+    the paper's third range, yet still spanning ~1 decade.
+    """
+    profile = ETC.scaled(ETC_SCALE)
+    model = PenaltyModel(base_penalty=0.03, correlation=0.0, sigma=0.35,
+                         unknown_fraction=0.0, min_penalty=0.011,
+                         cap=0.099, seed=SEED)
+    gen = SyntheticTraceGenerator(profile, seed=SEED, penalty_model=model)
+    return gen.generate(n)
+
+
+def _spec():
+    spec = base_spec("adaptive", CACHE)
+    return dc_replace(spec, policy_kwargs={
+        "pama": {"value_window": 50_000},
+        "pama-adaptive": {"value_window": 50_000,
+                          "warmup_samples": 20_000},
+    })
+
+
+def bench_ablation_adaptive(benchmark, etc_trace, capsys):
+    clustered = clustered_trace()
+
+    def run_both():
+        return (run_comparison(etc_trace, _spec(), POLICIES),
+                run_comparison(clustered, _spec(), POLICIES))
+
+    broad, narrow = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    for label, cmp in (("broad", broad), ("clustered", narrow)):
+        for name in POLICIES:
+            r = cmp.results[name]
+            rows.append([label, name, r.hit_ratio,
+                         r.avg_service_time * 1e3])
+    write_csv("ablation_adaptive.csv",
+              "workload,policy,hit_ratio,avg_service_ms\n" + "".join(
+                  f"{r[0]},{r[1]},{r[2]:.6f},{r[3]:.4f}\n" for r in rows))
+    with capsys.disabled():
+        print("\n[ablation E] fixed vs adaptive penalty bins (ETC, 16MiB)")
+        print(format_table(
+            ["workload", "policy", "hit_ratio", "avg_service_ms"], rows))
+        adaptive = narrow.results["pama-adaptive"].cache_stats
+        print(f"  clustered/adaptive migrations: {adaptive['migrations']:.0f}")
+
+    # sanity: the clustered workload really collapses fixed bins
+    fixed_bins = {q[1] for q in narrow.results["pama"].final_queue_slabs}
+    adaptive_bins = {q[1] for q in
+                     narrow.results["pama-adaptive"].final_queue_slabs}
+    assert len(adaptive_bins) > len(fixed_bins), (fixed_bins, adaptive_bins)
+
+    # the adaptive variant's fragmentation cost stays bounded on both
+    # workloads (see module docstring: it does not win, and that is the
+    # recorded finding)
+    assert (broad.results["pama-adaptive"].avg_service_time
+            <= broad.results["pama"].avg_service_time * 1.15)
+    assert (narrow.results["pama-adaptive"].avg_service_time
+            <= narrow.results["pama"].avg_service_time * 1.25)
+    # and single-bin PAMA on clustered penalties behaves like a hit-ratio
+    # optimiser: its hit ratio beats its own adaptive variant
+    assert (narrow.results["pama"].hit_ratio
+            >= narrow.results["pama-adaptive"].hit_ratio - 0.005)

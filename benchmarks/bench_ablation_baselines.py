@@ -1,0 +1,57 @@
+"""Ablation C — the related-work policies the paper discusses but
+does not plot.
+
+§II dismisses Facebook's age balancer (no size/penalty awareness),
+Twemcache's random donor (can raid efficiently-used classes), the
+1.4.11 automover (too conservative), and LAMA (average-penalty
+optimisation).  This bench runs all eight schemes on the same ETC
+replay to verify each criticism empirically.
+"""
+
+from benchmarks.conftest import base_spec, run_single, write_csv
+from repro._util import MIB
+from repro.sim import run_comparison
+from repro.sim.report import format_table
+
+CACHE = 32 * MIB
+ALL_POLICIES = ["memcached", "automove", "facebook", "twemcache", "psa",
+                "lama", "pre-pama", "pama"]
+
+
+def bench_ablation_baselines(benchmark, etc_trace, capsys):
+    benchmark.pedantic(lambda: run_single(etc_trace, "lama", CACHE),
+                       rounds=1, iterations=1)
+    cmp = run_comparison(etc_trace, base_spec("baselines", CACHE),
+                         ALL_POLICIES)
+
+    rows = [[name, r.hit_ratio, r.avg_service_time * 1e3,
+             r.cache_stats["migrations"], r.cache_stats["evictions"]]
+            for name, r in cmp.results.items()]
+    write_csv("ablation_baselines.csv",
+              "policy,hit_ratio,avg_service_ms,migrations,evictions\n"
+              + "".join(f"{n},{r.hit_ratio:.6f},"
+                        f"{r.avg_service_time*1e3:.4f},"
+                        f"{r.cache_stats['migrations']:.0f},"
+                        f"{r.cache_stats['evictions']:.0f}\n"
+                        for n, r in cmp.results.items()))
+    with capsys.disabled():
+        print("\n[ablation C] all eight policies (ETC, 32MiB)")
+        print(format_table(
+            ["policy", "hit_ratio", "avg_service_ms", "migrations",
+             "evictions"], rows))
+
+    r = cmp.results
+    # PAMA still wins service time against the extended field
+    pama = r["pama"].avg_service_time
+    for name in ALL_POLICIES:
+        assert pama <= r[name].avg_service_time * 1.02, name
+    # the automover is conservative: fewer migrations than PSA
+    assert (r["automove"].cache_stats["migrations"]
+            <= r["psa"].cache_stats["migrations"])
+    # twemcache's random donor churns much more than PSA's targeted move
+    assert (r["twemcache"].cache_stats["migrations"]
+            > r["psa"].cache_stats["migrations"])
+    # every reallocating scheme beats frozen Memcached on hit ratio
+    static_hr = r["memcached"].hit_ratio
+    for name in ("psa", "facebook", "pre-pama", "pama"):
+        assert r[name].hit_ratio >= static_hr - 0.02, name

@@ -1,0 +1,52 @@
+"""Fig 1 — miss penalties of GET requests for KV items of different sizes.
+
+The paper's figure is a scatter of (item size, miss penalty) for the
+APP workload: penalties span roughly milliseconds to 5 seconds at every
+size, with only a weak size trend.  The bench regenerates the
+underlying distribution from the synthetic APP trace (whose penalty
+model implements the paper's GET-miss→SET-gap methodology, capped at
+5 s with a 100 ms default) and emits the per-size-decade spread.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import write_csv
+from repro.sim.report import format_table
+from repro.traces import analyze
+
+
+def bench_fig1(benchmark, app_trace, capsys):
+    stats = benchmark.pedantic(lambda: analyze(app_trace),
+                               rounds=1, iterations=1)
+
+    rows = [[f"{b.size_lo}-{b.size_hi}", b.count, b.penalty_min,
+             b.penalty_p50, b.penalty_p90, b.penalty_max]
+            for b in stats.penalty_by_size]
+    table = format_table(
+        ["size_bytes", "count", "pen_min_s", "pen_p50_s", "pen_p90_s",
+         "pen_max_s"], rows)
+    csv = "size_lo,size_hi,count,pen_min,pen_p50,pen_p90,pen_max\n" + "".join(
+        f"{b.size_lo},{b.size_hi},{b.count},{b.penalty_min:.6g},"
+        f"{b.penalty_p50:.6g},{b.penalty_p90:.6g},{b.penalty_max:.6g}\n"
+        for b in stats.penalty_by_size)
+    path = write_csv("fig1_penalty_by_size.csv", csv)
+    with capsys.disabled():
+        print(f"\n[fig1] penalty by item-size decade (APP) -> {path}")
+        print(table)
+
+    # Paper claims: penalties range from a few ms to seconds...
+    assert stats.penalty_max > 1.0
+    assert stats.penalty_p50 < 0.2
+    # ...and the spread exists at every size decade (the scatter shape)
+    populous = [b for b in stats.penalty_by_size if b.count > 500]
+    assert len(populous) >= 3
+    for bucket in populous:
+        assert bucket.penalty_max / max(bucket.penalty_min, 1e-9) > 50, (
+            f"no penalty spread in bucket {bucket.size_lo}-{bucket.size_hi}")
+    # weak positive size trend: the largest decade's median exceeds the
+    # smallest's
+    assert populous[-1].penalty_p50 > populous[0].penalty_p50
+    # the 5s cap and the 100ms default are both visible
+    assert stats.penalty_max <= 5.0
+    pens = app_trace.penalties
+    assert np.count_nonzero(pens == 0.1) / len(pens) > 0.02

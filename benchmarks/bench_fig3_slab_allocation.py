@@ -1,0 +1,71 @@
+"""Fig 3 — per-class slab allocation over time under the four schemes.
+
+Paper's observations on the ETC / 4 GB run (our 32 MiB scale point):
+
+* original Memcached freezes its allocation after warm-up;
+* PSA aggressively funnels slabs toward the dominant small-item class;
+* pre-PAMA shifts in the same direction but more slowly (near-bottom
+  accesses drive it, not raw request counts);
+* PAMA's allocation is distinctly more even across classes because
+  high-penalty subclasses in mid/large classes retain space.
+"""
+
+from benchmarks.conftest import (ETC_CACHE_SIZES, PAPER_POLICIES, run_single,
+                                 write_csv)
+from repro.sim.report import series_csv
+
+MID = ETC_CACHE_SIZES[1]
+
+
+def _top_share(dist: dict[int, int]) -> float:
+    total = sum(dist.values())
+    return max(dist.values()) / total if total else 0.0
+
+
+def _concentration(dist: dict[int, int]) -> float:
+    """Herfindahl index of the slab allocation (1.0 = one class has all)."""
+    total = sum(dist.values())
+    if not total:
+        return 0.0
+    return sum((n / total) ** 2 for n in dist.values())
+
+
+def bench_fig3(benchmark, etc_trace, etc_sweep, capsys):
+    # time one representative replay (PAMA at the Fig 3 size)
+    benchmark.pedantic(lambda: run_single(etc_trace, "pama", MID),
+                       rounds=1, iterations=1)
+
+    cmp = etc_sweep[MID]
+    classes = sorted({c for r in cmp.results.values()
+                      for w in r.windows for c in w.class_slabs})
+    lines = []
+    for policy in PAPER_POLICIES:
+        result = cmp.results[policy]
+        series = {f"class{c}": result.class_slab_series(c) for c in classes}
+        path = write_csv(f"fig3_{policy}_class_slabs.csv", series_csv(series))
+        final = result.final_class_slabs
+        lines.append(f"  {policy:>10s}: final top-class share "
+                     f"{_top_share(final):.2f}, classes used {len(final)}, "
+                     f"-> {path}")
+    with capsys.disabled():
+        print("\n[fig3] per-class slab allocation over time (ETC, 32MiB)")
+        print("\n".join(lines))
+
+    static = cmp.results["memcached"]
+    psa = cmp.results["psa"]
+    pama = cmp.results["pama"]
+
+    # Memcached: allocation frozen once memory is exhausted
+    assert static.cache_stats["migrations"] == 0
+    late = static.windows[len(static.windows) // 2].class_slabs
+    assert late == static.final_class_slabs
+
+    # PSA concentrates on the dominant class; PAMA spreads more evenly —
+    # both by top-class share and by overall concentration (Herfindahl)
+    assert _top_share(psa.final_class_slabs) > _top_share(
+        pama.final_class_slabs) - 0.02
+    assert _concentration(pama.final_class_slabs) < _concentration(
+        psa.final_class_slabs)
+    # reallocation actually happened in the dynamic schemes
+    for name in ("psa", "pre-pama", "pama"):
+        assert cmp.results[name].cache_stats["migrations"] > 0, name

@@ -1,0 +1,53 @@
+"""Fig 5 — ETC hit ratios under the four schemes at 3 cache sizes.
+
+Paper's shape: pre-PAMA highest, PSA next, PAMA below PSA (it trades
+hit ratio for service time), original Memcached lowest; gaps narrow as
+the cache grows; smaller caches show more window-to-window variation.
+"""
+
+from benchmarks.conftest import (ETC_CACHE_SIZES, PAPER_POLICIES, run_single,
+                                 write_csv)
+from repro._util import fmt_bytes
+from repro.sim.report import format_table, series_csv
+
+SMALL, MID, LARGE = ETC_CACHE_SIZES
+
+
+def bench_fig5(benchmark, etc_trace, etc_sweep, capsys):
+    benchmark.pedantic(lambda: run_single(etc_trace, "pre-pama", SMALL),
+                       rounds=1, iterations=1)
+
+    rows = []
+    for size in ETC_CACHE_SIZES:
+        cmp = etc_sweep[size]
+        series = {name: cmp.results[name].hit_ratio_series()
+                  for name in PAPER_POLICIES}
+        write_csv(f"fig5_etc_hit_ratio_{fmt_bytes(size)}.csv",
+                  series_csv(series))
+        for name in PAPER_POLICIES:
+            rows.append([fmt_bytes(size), name,
+                         cmp.results[name].hit_ratio])
+    with capsys.disabled():
+        print("\n[fig5] ETC hit ratios (paper: 4/8/16 GB -> scaled "
+              "16/32/64 MiB)")
+        print(format_table(["cache", "policy", "hit_ratio"], rows))
+
+    for size in ETC_CACHE_SIZES:
+        r = {n: etc_sweep[size].results[n].hit_ratio
+             for n in PAPER_POLICIES}
+        # original Memcached lowest
+        assert r["memcached"] <= min(r["psa"], r["pre-pama"], r["pama"]) \
+            + 0.01, (size, r)
+        # pre-PAMA at/near the top
+        assert r["pre-pama"] >= max(r.values()) - 0.02, (size, r)
+
+    # gaps shrink as the cache grows (pre-PAMA vs memcached)
+    gap = {s: etc_sweep[s].results["pre-pama"].hit_ratio
+           - etc_sweep[s].results["memcached"].hit_ratio
+           for s in (SMALL, LARGE)}
+    assert gap[LARGE] <= gap[SMALL] + 0.02
+
+    # larger cache -> higher hit ratio for every scheme
+    for name in PAPER_POLICIES:
+        assert (etc_sweep[LARGE].results[name].hit_ratio
+                >= etc_sweep[SMALL].results[name].hit_ratio - 0.01), name

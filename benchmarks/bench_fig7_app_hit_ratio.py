@@ -1,0 +1,69 @@
+"""Fig 7 — APP hit ratios at 3 cache sizes, trace repeated twice.
+
+Paper's methodology: ~40% of APP misses are cold, so the trace is
+replayed a second time to expose the schemes' differences once
+compulsory misses are gone.  Shape: pre-PAMA highest, PAMA at/below
+PSA, Memcached lowest; every scheme improves in the second half;
+bigger caches smooth the series.
+"""
+
+from benchmarks.conftest import (APP_CACHE_SIZES, PAPER_POLICIES, run_single,
+                                 write_csv)
+from repro._util import fmt_bytes
+from repro.sim.report import format_table, series_csv
+
+
+def half_ratios(result):
+    """(first-pass, second-pass) hit ratios of a repeated-trace run."""
+    windows = result.windows
+    half = len(windows) // 2
+    first = sum(w.hits for w in windows[:half]) / max(
+        sum(w.gets for w in windows[:half]), 1)
+    second = sum(w.hits for w in windows[half:]) / max(
+        sum(w.gets for w in windows[half:]), 1)
+    return first, second
+
+
+def bench_fig7(benchmark, app_trace, app_sweep, capsys):
+    benchmark.pedantic(
+        lambda: run_single(app_trace, "pre-pama", APP_CACHE_SIZES[0]),
+        rounds=1, iterations=1)
+
+    rows = []
+    for size in APP_CACHE_SIZES:
+        cmp = app_sweep[size]
+        series = {name: cmp.results[name].hit_ratio_series()
+                  for name in PAPER_POLICIES}
+        write_csv(f"fig7_app_hit_ratio_{fmt_bytes(size)}.csv",
+                  series_csv(series))
+        for name in PAPER_POLICIES:
+            first, second = half_ratios(cmp.results[name])
+            rows.append([fmt_bytes(size), name,
+                         cmp.results[name].hit_ratio, first, second])
+    with capsys.disabled():
+        print("\n[fig7] APP hit ratios, trace played twice "
+              "(paper: 16/32/64 GB -> scaled 32/64/128 MiB)")
+        print(format_table(
+            ["cache", "policy", "overall", "first_pass", "second_pass"],
+            rows))
+
+    for size in APP_CACHE_SIZES:
+        results = app_sweep[size].results
+        r = {n: results[n].hit_ratio for n in PAPER_POLICIES}
+        # pre-PAMA highest; the reallocating hit-ratio optimisers beat
+        # frozen Memcached.  PAMA is exempt from the lower bound: it
+        # deliberately trades hits for cheap misses ("PAMA's hit ratios
+        # are even lower than those of PSA's").
+        assert r["pre-pama"] >= max(r.values()) - 0.02, (size, r)
+        assert r["memcached"] <= r["psa"] + 0.01, (size, r)
+        assert r["pama"] <= r["psa"] + 0.02, (size, r)
+        # second pass (no cold misses) beats the first for the
+        # hit-ratio-driven schemes; PAMA is judged on service time
+        # (see bench_fig8), since better-valued misses may cost hits
+        for name in ("memcached", "psa", "pre-pama"):
+            first, second = half_ratios(results[name])
+            assert second > first, (size, name)
+        p1, p2 = (sum(w.service_sum for w in h) / max(sum(w.gets for w in h), 1)
+                  for h in (results["pama"].windows[:len(results["pama"].windows) // 2],
+                            results["pama"].windows[len(results["pama"].windows) // 2:]))
+        assert p2 < p1, (size, "pama service time must improve")

@@ -1,0 +1,100 @@
+"""Shared machinery for the figure-reproduction benchmarks.
+
+Scaling (see DESIGN.md): the paper drives 4-64 GB caches with ~10^9
+Facebook requests; we shrink every axis together — 64 KiB slabs,
+16-128 MiB caches, a few 10^5 synthetic requests over proportionally
+smaller key universes — which preserves the slab-count and
+pressure ratios that drive all allocation decisions.
+
+Heavy simulations run once per session (fixtures below); each bench
+then times one representative run via the ``benchmark`` fixture and
+asserts the figure's qualitative claim.  Every bench also writes the
+series the paper's figure plots to ``benchmarks/results/*.csv``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro._util import MIB
+from repro.sim import ExperimentSpec, run_comparison, sweep_cache_sizes
+from repro.traces import APP, ETC, generate
+
+# -- scale constants ---------------------------------------------------------
+
+ETC_SCALE = 0.5           # ~150k warm keys
+ETC_REQUESTS = 500_000
+ETC_CACHE_SIZES = [16 * MIB, 32 * MIB, 64 * MIB]   # paper: 4/8/16 GB
+
+APP_SCALE = 0.3           # ~60k warm keys, bigger values
+APP_REQUESTS = 250_000    # repeated 2x, like the paper's Fig 7/8
+APP_CACHE_SIZES = [32 * MIB, 64 * MIB, 128 * MIB]  # paper: 16/32/64 GB
+
+SLAB = 64 * 1024
+WINDOW_GETS = 50_000      # paper: 1M GETs per metrics window
+SEED = 2015               # the paper's year
+
+PAPER_POLICIES = ["memcached", "psa", "pre-pama", "pama"]
+
+POLICY_KWARGS = {
+    "pama": {"value_window": 50_000},
+    "pre-pama": {"value_window": 50_000},
+    "psa": {"m_misses": 500},
+    "automove": {"window_accesses": 50_000},
+    "facebook": {"check_interval": 10_000},
+    "lama": {"epoch_accesses": 100_000},
+}
+
+
+def base_spec(name: str, cache_bytes: int) -> ExperimentSpec:
+    return ExperimentSpec(name=name, cache_bytes=cache_bytes,
+                          slab_size=SLAB, window_gets=WINDOW_GETS,
+                          policy_kwargs=POLICY_KWARGS)
+
+
+def results_dir() -> str:
+    path = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_csv(filename: str, content: str) -> str:
+    path = os.path.join(results_dir(), filename)
+    with open(path, "w") as fh:
+        fh.write(content)
+    return path
+
+
+# -- session-scoped workloads and sweeps --------------------------------------
+
+@pytest.fixture(scope="session")
+def etc_trace():
+    return generate(ETC.scaled(ETC_SCALE), ETC_REQUESTS, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def app_trace():
+    """APP trace played twice, per the paper's Fig 7/8 methodology."""
+    return generate(APP.scaled(APP_SCALE), APP_REQUESTS, seed=SEED).repeat(2)
+
+
+@pytest.fixture(scope="session")
+def etc_sweep(etc_trace):
+    """Figs 3/5/6 data: ETC × {policies} × {cache sizes}."""
+    return sweep_cache_sizes(etc_trace, base_spec("etc", ETC_CACHE_SIZES[0]),
+                             PAPER_POLICIES, ETC_CACHE_SIZES)
+
+
+@pytest.fixture(scope="session")
+def app_sweep(app_trace):
+    """Figs 7/8 data: APP × {policies} × {cache sizes}."""
+    return sweep_cache_sizes(app_trace, base_spec("app", APP_CACHE_SIZES[0]),
+                             PAPER_POLICIES, APP_CACHE_SIZES)
+
+
+def run_single(trace, policy: str, cache_bytes: int):
+    """One policy / one size replay (the unit the benches time)."""
+    spec = base_spec(f"bench-{policy}", cache_bytes)
+    return run_comparison(trace, spec, [policy]).results[policy]

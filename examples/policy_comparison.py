@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Compare all eight allocation policies on the ETC workload.
+
+Covers the paper's four evaluated schemes (original Memcached, PSA,
+pre-PAMA, PAMA) plus the related-work schemes it discusses but does not
+plot (Facebook age balancer, Twemcache random donor, the 1.4.11
+automover) and the LAMA-lite extension.
+
+    python examples/policy_comparison.py
+"""
+
+from repro import ExperimentSpec, run_comparison
+from repro.sim.report import ascii_chart, comparison_summary
+from repro.traces import ETC, generate
+
+
+def main() -> None:
+    trace = generate(ETC.scaled(0.2), 400_000, seed=7)
+    spec = ExperimentSpec(
+        name="etc-comparison",
+        cache_bytes=32 << 20,
+        slab_size=64 << 10,
+        window_gets=50_000,
+        policy_kwargs={
+            "pama": {"value_window": 50_000},
+            "pre-pama": {"value_window": 50_000},
+            "psa": {"m_misses": 500},
+            "automove": {"window_accesses": 50_000},
+        },
+    )
+    print(spec.describe(), "\n")
+
+    cmp = run_comparison(
+        trace, spec,
+        ["memcached", "psa", "facebook", "twemcache", "automove",
+         "lama", "pre-pama", "pama"],
+        verbose=True)
+
+    print("\n" + comparison_summary(cmp.results))
+
+    print("\nService-time ranking (best first):")
+    for name, t in cmp.ranking_by_service_time():
+        print(f"  {name:>10s}  {t * 1e3:8.2f} ms")
+
+    print("\n" + ascii_chart(
+        {n: cmp.results[n].service_time_series()
+         for n in ("memcached", "psa", "pre-pama", "pama")},
+        title="avg service time per window (s) — paper Fig 6 shape"))
+
+
+if __name__ == "__main__":
+    main()

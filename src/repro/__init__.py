@@ -1,0 +1,51 @@
+"""repro — PAMA: Penalty Aware Memory Allocation for key-value caches.
+
+Reproduction of Ou et al., ICPP 2015.  The package provides:
+
+* :mod:`repro.cache` — a Memcached-like slab-allocated KV cache;
+* :mod:`repro.core` — the PAMA policy (and pre-PAMA ablation);
+* :mod:`repro.policies` — baseline allocation policies (original
+  Memcached, PSA, Facebook rebalancer, Twemcache, 1.4.11 automover,
+  LAMA-lite);
+* :mod:`repro.traces` — synthetic Facebook-like workloads + trace I/O;
+* :mod:`repro.sim` — trace-driven simulation and experiment harness;
+* :mod:`repro.server` — a minimal memcached-protocol server/client;
+* :mod:`repro.backend` — a simulated back-end store.
+
+Quickstart::
+
+    from repro import SlabCache, SizeClassConfig, PamaPolicy, simulate
+    from repro.traces import ETC, generate
+
+    trace = generate(ETC, 200_000, seed=1)
+    cache = SlabCache(64 << 20, PamaPolicy(),
+                      SizeClassConfig(slab_size=64 << 10))
+    result = simulate(trace, cache)
+    print(result.hit_ratio, result.avg_service_time)
+"""
+
+from repro.cache import SlabCache, SizeClassConfig
+from repro.core import PamaConfig, PamaPolicy, PrePamaPolicy
+from repro.policies import (AllocationPolicy, AutoMovePolicy, FacebookPolicy,
+                            LamaPolicy, POLICY_NAMES, PSAPolicy,
+                            StaticMemcachedPolicy, TwemcachePolicy,
+                            make_policy)
+from repro.sim import (ExperimentSpec, ServiceTimeModel, SimulationResult,
+                       Simulator, run_comparison, simulate,
+                       sweep_cache_sizes)
+from repro.traces import (Op, Request, Trace, WorkloadProfile, generate,
+                          get_profile)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SlabCache", "SizeClassConfig",
+    "PamaPolicy", "PrePamaPolicy", "PamaConfig",
+    "AllocationPolicy", "StaticMemcachedPolicy", "PSAPolicy",
+    "FacebookPolicy", "TwemcachePolicy", "AutoMovePolicy", "LamaPolicy",
+    "make_policy", "POLICY_NAMES",
+    "Simulator", "SimulationResult", "simulate", "ServiceTimeModel",
+    "ExperimentSpec", "run_comparison", "sweep_cache_sizes",
+    "Trace", "Request", "Op", "WorkloadProfile", "generate", "get_profile",
+    "__version__",
+]

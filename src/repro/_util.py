@@ -1,0 +1,64 @@
+"""Small shared helpers used across the repro packages."""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * 1024
+GIB = 1024 * 1024 * 1024
+
+
+def fmt_bytes(n: int) -> str:
+    """Render a byte count in a human-friendly unit (``1.5MiB``)."""
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)}B"
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    raise AssertionError("unreachable")
+
+
+def fmt_seconds(t: float) -> str:
+    """Render a duration with an appropriate unit (``250.0us``, ``1.20s``)."""
+    if t < 0:
+        raise ValueError(f"duration must be non-negative, got {t}")
+    if t == 0:
+        return "0s"
+    if t < 1e-3:
+        return f"{t * 1e6:.1f}us"
+    if t < 1.0:
+        return f"{t * 1e3:.1f}ms"
+    return f"{t:.2f}s"
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"64KiB"``/``"4GB"``/``"1048576"`` into a byte count.
+
+    Decimal (``KB``) and binary (``KiB``) suffixes are both treated as
+    binary multiples, matching memcached's convention.
+    """
+    s = text.strip().lower()
+    multipliers = {
+        "tib": GIB * 1024, "tb": GIB * 1024, "t": GIB * 1024,
+        "gib": GIB, "gb": GIB, "g": GIB,
+        "mib": MIB, "mb": MIB, "m": MIB,
+        "kib": KIB, "kb": KIB, "k": KIB,
+        "b": 1,
+    }
+    for suffix, mult in multipliers.items():
+        if s.endswith(suffix):
+            num = s[: -len(suffix)].strip()
+            if not num:
+                raise ValueError(f"missing number in size {text!r}")
+            return int(float(num) * mult)
+    return int(s)
+
+
+def next_pow2(n: int) -> int:
+    """Smallest power of two >= n (n must be positive)."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return 1 << (n - 1).bit_length()

@@ -1,0 +1,5 @@
+"""Simulated back-end store (the source of miss penalties)."""
+
+from repro.backend.database import SimulatedBackend
+
+__all__ = ["SimulatedBackend"]

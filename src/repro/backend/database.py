@@ -1,0 +1,57 @@
+"""Simulated back-end store: where miss penalties come from.
+
+In production, a KV-cache miss triggers an expensive recomputation
+(database query, render job...).  The trace carries each key's penalty;
+this module supplies the *process* view of that cost for the server
+example and for experiments that want load-dependent penalties: a
+deterministic per-key base cost scaled by a diurnal load factor (the
+paper notes load varies ~2x over a diurnal cycle).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.traces.penalty import PenaltyModel
+
+
+class SimulatedBackend:
+    """Recompute-on-miss backend with diurnal load modulation.
+
+    Args:
+        penalty_model: per-key base cost model (shared with the trace
+            generator so simulation and backend agree).
+        diurnal_amplitude: peak-to-mean load swing; 0.5 gives the
+            paper's ~2x trough-to-peak variation.
+        diurnal_period: seconds per load cycle.
+    """
+
+    def __init__(self, penalty_model: PenaltyModel | None = None,
+                 diurnal_amplitude: float = 0.5,
+                 diurnal_period: float = 86_400.0) -> None:
+        if not 0.0 <= diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if diurnal_period <= 0:
+            raise ValueError("diurnal_period must be positive")
+        self.penalty_model = penalty_model or PenaltyModel()
+        self.diurnal_amplitude = diurnal_amplitude
+        self.diurnal_period = diurnal_period
+        self.fetches = 0
+        self.total_cost = 0.0
+
+    def load_factor(self, now: float) -> float:
+        """Relative backend load at time ``now`` (mean 1.0)."""
+        phase = 2.0 * math.pi * (now / self.diurnal_period)
+        return 1.0 + self.diurnal_amplitude * math.sin(phase)
+
+    def fetch(self, key: int, size: int, now: float = 0.0) -> float:
+        """Recompute the value for ``key``; returns the time it cost.
+
+        The caller treats the return value as the miss penalty for this
+        fetch.
+        """
+        base = self.penalty_model.penalty_for(key, size)
+        cost = base * self.load_factor(now)
+        self.fetches += 1
+        self.total_cost += cost
+        return cost

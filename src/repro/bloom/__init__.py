@@ -1,0 +1,17 @@
+"""Bloom-filter substrate for PAMA's segment membership tests."""
+
+from repro.bloom.bloom import BloomFilter, optimal_params
+from repro.bloom.counting import CountingBloomFilter
+from repro.bloom.hashing import double_hashes, fnv1a64, hash_key, splitmix64
+from repro.bloom.removal import RemovalFilter
+
+__all__ = [
+    "BloomFilter",
+    "CountingBloomFilter",
+    "RemovalFilter",
+    "optimal_params",
+    "double_hashes",
+    "fnv1a64",
+    "hash_key",
+    "splitmix64",
+]

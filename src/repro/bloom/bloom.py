@@ -1,0 +1,93 @@
+"""A classic Bloom filter.
+
+PAMA uses one Bloom filter per reference segment to answer "did this
+request land in segment Sk?" in O(1) without scanning the LRU stack
+(paper §III, third challenge).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bloom.hashing import double_hashes
+from repro._util import next_pow2
+
+
+def optimal_params(capacity: int, fp_rate: float) -> tuple[int, int]:
+    """Return ``(nbits, nhashes)`` sized for ``capacity`` keys at ``fp_rate``.
+
+    Standard formulas: ``m = -n ln p / (ln 2)^2``, ``k = (m/n) ln 2``.
+    ``nbits`` is rounded up to a power of two so the modulo in the hash
+    probe is cheap and unbiased.
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    if not 0.0 < fp_rate < 1.0:
+        raise ValueError(f"fp_rate must be in (0, 1), got {fp_rate}")
+    nbits = max(8, int(math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2))))
+    nbits = next_pow2(nbits)
+    nhashes = max(1, round((nbits / capacity) * math.log(2)))
+    return nbits, nhashes
+
+
+class BloomFilter:
+    """Fixed-size Bloom filter over int / str / bytes keys.
+
+    Supports ``add``, membership via ``in``, and ``clear``.  Deletion is
+    impossible by construction; PAMA layers a :class:`RemovalFilter` on
+    top to mask members that have logically left a segment.
+    """
+
+    __slots__ = ("nbits", "nhashes", "seed", "_bits", "count")
+
+    def __init__(self, capacity: int = 1024, fp_rate: float = 0.01,
+                 *, nbits: int | None = None, nhashes: int | None = None,
+                 seed: int = 0) -> None:
+        if nbits is None or nhashes is None:
+            auto_bits, auto_hashes = optimal_params(capacity, fp_rate)
+            nbits = nbits if nbits is not None else auto_bits
+            nhashes = nhashes if nhashes is not None else auto_hashes
+        if nbits <= 0 or nhashes <= 0:
+            raise ValueError("nbits and nhashes must be positive")
+        self.nbits = nbits
+        self.nhashes = nhashes
+        self.seed = seed
+        self._bits = bytearray((nbits + 7) // 8)
+        #: number of ``add`` calls since the last clear (an upper bound on
+        #: the number of distinct members).
+        self.count = 0
+
+    def add(self, key: object) -> None:
+        """Insert ``key`` into the filter."""
+        bits = self._bits
+        for pos in double_hashes(key, self.nhashes, self.nbits, self.seed):
+            bits[pos >> 3] |= 1 << (pos & 7)
+        self.count += 1
+
+    def __contains__(self, key: object) -> bool:
+        bits = self._bits
+        for pos in double_hashes(key, self.nhashes, self.nbits, self.seed):
+            if not bits[pos >> 3] & (1 << (pos & 7)):
+                return False
+        return True
+
+    def clear(self) -> None:
+        """Reset to the empty filter."""
+        self._bits = bytearray(len(self._bits))
+        self.count = 0
+
+    def saturation(self) -> float:
+        """Fraction of bits set — a health metric for sizing decisions."""
+        set_bits = sum(bin(b).count("1") for b in self._bits)
+        return set_bits / self.nbits
+
+    def estimated_fp_rate(self) -> float:
+        """Estimated current false-positive probability from saturation."""
+        return self.saturation() ** self.nhashes
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"BloomFilter(nbits={self.nbits}, nhashes={self.nhashes}, "
+                f"count={self.count})")

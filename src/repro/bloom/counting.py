@@ -1,0 +1,70 @@
+"""Counting Bloom filter (extension).
+
+Not used by the faithful PAMA implementation — the paper explicitly
+chose plain filters plus a removal filter for space reasons — but
+provided as the natural alternative, and used by the Bloom-tracker
+ablation to quantify the trade-off.
+"""
+
+from __future__ import annotations
+
+from repro.bloom.hashing import double_hashes
+from repro.bloom.bloom import optimal_params
+
+
+class CountingBloomFilter:
+    """Bloom filter with 8-bit counters, supporting ``remove``.
+
+    Counters saturate at 255 rather than overflowing; a saturated
+    counter is never decremented, which preserves the no-false-negative
+    guarantee at the cost of a slightly elevated false-positive rate
+    under heavy reuse.
+    """
+
+    __slots__ = ("nbits", "nhashes", "seed", "_counts", "count")
+
+    _SATURATED = 255
+
+    def __init__(self, capacity: int = 1024, fp_rate: float = 0.01,
+                 *, seed: int = 0) -> None:
+        nbits, nhashes = optimal_params(capacity, fp_rate)
+        self.nbits = nbits
+        self.nhashes = nhashes
+        self.seed = seed
+        self._counts = bytearray(nbits)
+        self.count = 0
+
+    def add(self, key: object) -> None:
+        counts = self._counts
+        for pos in double_hashes(key, self.nhashes, self.nbits, self.seed):
+            if counts[pos] < self._SATURATED:
+                counts[pos] += 1
+        self.count += 1
+
+    def remove(self, key: object) -> bool:
+        """Remove one occurrence of ``key``.
+
+        Returns False (and does nothing) if the key is definitely absent.
+        Removing a key that was never added corrupts a plain counting
+        filter; the membership pre-check makes that a no-op instead.
+        """
+        if key not in self:
+            return False
+        counts = self._counts
+        for pos in double_hashes(key, self.nhashes, self.nbits, self.seed):
+            if 0 < counts[pos] < self._SATURATED:
+                counts[pos] -= 1
+        self.count = max(0, self.count - 1)
+        return True
+
+    def __contains__(self, key: object) -> bool:
+        counts = self._counts
+        return all(counts[pos] > 0 for pos in
+                   double_hashes(key, self.nhashes, self.nbits, self.seed))
+
+    def clear(self) -> None:
+        self._counts = bytearray(self.nbits)
+        self.count = 0
+
+    def __len__(self) -> int:
+        return self.count

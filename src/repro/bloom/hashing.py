@@ -1,0 +1,72 @@
+"""Hash functions backing the Bloom filters.
+
+Bloom filters need several independent hash values per key.  We derive
+all of them from two base 64-bit hashes via the standard double-hashing
+construction (Kirsch & Mitzenmacher): ``h_i = h1 + i * h2``.
+
+Keys in the simulator are integers (interned key ids) but the cache and
+server accept ``bytes``/``str`` keys too, so both paths are provided.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+# splitmix64 constants (Steele, Lea, Flood — "Fast splittable PRNGs").
+_SM_GAMMA = 0x9E3779B97F4A7C15
+_SM_MUL1 = 0xBF58476D1CE4E5B9
+_SM_MUL2 = 0x94D049BB133111EB
+
+# FNV-1a 64-bit constants.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def splitmix64(x: int) -> int:
+    """One round of the splitmix64 mixer; a strong 64-bit integer hash."""
+    x = (x + _SM_GAMMA) & _MASK64
+    x = ((x ^ (x >> 30)) * _SM_MUL1) & _MASK64
+    x = ((x ^ (x >> 27)) * _SM_MUL2) & _MASK64
+    return x ^ (x >> 31)
+
+
+def fnv1a64(data: bytes) -> int:
+    """FNV-1a 64-bit hash of a byte string."""
+    h = _FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * _FNV_PRIME) & _MASK64
+    return h
+
+
+def hash_key(key: object, seed: int = 0) -> int:
+    """Hash an int / bytes / str key to a 64-bit value.
+
+    Integers take the fast splitmix64 path; text and byte keys go through
+    FNV-1a first.  ``seed`` perturbs the result so independent filters
+    see independent hash families.
+    """
+    if isinstance(key, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("bool is not a valid cache key")
+    if isinstance(key, int):
+        return splitmix64((key ^ (seed * _SM_GAMMA)) & _MASK64)
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if isinstance(key, (bytes, bytearray)):
+        return splitmix64(fnv1a64(bytes(key)) ^ (seed * _SM_GAMMA) & _MASK64)
+    raise TypeError(f"unhashable key type for bloom filter: {type(key)!r}")
+
+
+def double_hashes(key: object, k: int, nbits: int, seed: int = 0) -> list[int]:
+    """Return ``k`` bit positions in ``[0, nbits)`` for ``key``.
+
+    Uses two base hashes combined as ``h1 + i*h2`` (with ``h2`` forced
+    odd so the probe sequence covers the table when nbits is a power of
+    two).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if nbits <= 0:
+        raise ValueError(f"nbits must be positive, got {nbits}")
+    h1 = hash_key(key, seed)
+    h2 = hash_key(key, seed + 0x5BD1E995) | 1
+    return [((h1 + i * h2) & _MASK64) % nbits for i in range(k)]

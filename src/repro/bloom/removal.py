@@ -1,0 +1,49 @@
+"""Removal filter: PAMA's workaround for Bloom filters lacking deletion.
+
+Paper §III (third challenge): a removal filter tracks keys recently
+*removed* from the reference segments (an LRU hit pulls the item to the
+stack top, out of any bottom segment).  A segment filter's positive is
+trusted only if the removal filter does *not* also contain the key.
+When a key being **added** to a segment collides with the removal
+filter, the removal filter is cleared — otherwise it would wrongly mask
+the fresh member.
+"""
+
+from __future__ import annotations
+
+from repro.bloom.bloom import BloomFilter
+
+
+class RemovalFilter:
+    """Bloom filter with the paper's clear-on-readd semantics."""
+
+    __slots__ = ("_filter", "clears", "removals")
+
+    def __init__(self, capacity: int = 4096, fp_rate: float = 0.01,
+                 seed: int = 0x52454D) -> None:
+        self._filter = BloomFilter(capacity, fp_rate, seed=seed)
+        #: number of times the filter was cleared due to a re-added key.
+        self.clears = 0
+        #: number of removals recorded since construction.
+        self.removals = 0
+
+    def mark_removed(self, key: object) -> None:
+        """Record that ``key`` left the segments (e.g. was hit → MRU)."""
+        self._filter.add(key)
+        self.removals += 1
+
+    def on_segment_add(self, key: object) -> None:
+        """A key entered a segment; clear the filter if it would be masked."""
+        if key in self._filter:
+            self._filter.clear()
+            self.clears += 1
+
+    def masks(self, key: object) -> bool:
+        """True if a segment-filter positive for ``key`` must be ignored."""
+        return key in self._filter
+
+    def clear(self) -> None:
+        self._filter.clear()
+
+    def __len__(self) -> int:
+        return len(self._filter)

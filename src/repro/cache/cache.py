@@ -1,0 +1,363 @@
+"""SlabCache: the Memcached-like key-value cache substrate.
+
+Provides GET/SET/DELETE over slab-allocated size classes, with all slab
+(re)allocation decisions delegated to a pluggable
+:class:`~repro.policies.base.AllocationPolicy`.  This is the common
+engine under the original-Memcached, PSA, pre-PAMA and PAMA schemes the
+paper evaluates.
+
+Memory model: capacity is split into fixed-size slabs; a queue
+(size-class × penalty-bin) owns whole slabs and stores one item per
+slot.  A migration logically evicts the donor's LRU items until one
+slab's worth of slots is free, then moves the slab — byte-identical in
+observable behaviour to the paper's "discard bottom items and compact".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro._util import fmt_bytes
+from repro.cache.errors import (InvalidItemError, ItemTooLargeError,
+                                OutOfMemoryError, PolicyError)
+from repro.cache.item import Item
+from repro.cache.queue import Queue
+from repro.cache.sizeclasses import SizeClassConfig
+from repro.cache.slab import SlabPool
+from repro.cache.stats import CacheStats
+from repro.policies.base import AllocationPolicy, default_donor
+
+
+class SlabCache:
+    """A slab-allocated, policy-driven KV cache.
+
+    Args:
+        capacity_bytes: total cache memory (split into slabs).
+        policy: the allocation policy instance (attached on construction;
+            one policy instance per cache).
+        size_classes: class geometry; defaults to Memcached-style 1 MiB
+            slabs with doubling classes from 64 B.
+    """
+
+    def __init__(self, capacity_bytes: int, policy: AllocationPolicy,
+                 size_classes: SizeClassConfig | None = None,
+                 clock=None) -> None:
+        import time as _time
+        self.size_classes = size_classes or SizeClassConfig()
+        #: wall-clock source for item expiry (injectable for tests).
+        self.clock = clock or _time.time
+        self.pool = SlabPool(capacity_bytes, self.size_classes.slab_size)
+        self.policy = policy
+        self.index: dict[object, Item] = {}
+        self.queues: dict[tuple[int, int], Queue] = {}
+        self.stats = CacheStats()
+        #: monotonically increasing access tick (GETs + SETs + DELETEs);
+        #: the paper's notion of time for windows and item ages.
+        self.accesses = 0
+        # Migrations requested by a policy callback *during* an operation
+        # are deferred until the operation completes: applying them
+        # immediately could evict the very item being served.
+        self._pending_migrations: list[tuple[Queue, Queue]] = []
+        self._in_operation = False
+        policy.attach(self)
+
+    # ------------------------------------------------------------------
+    # queue management
+    # ------------------------------------------------------------------
+    def queue_for(self, class_idx: int, bin_idx: int) -> Queue:
+        """Get or lazily create the queue for (class, bin)."""
+        qid = (class_idx, bin_idx)
+        queue = self.queues.get(qid)
+        if queue is None:
+            queue = Queue(class_idx, bin_idx,
+                          self.size_classes.slot_size(class_idx),
+                          self.size_classes.slots_per_slab(class_idx))
+            self.queues[qid] = queue
+            self.policy.on_queue_created(queue)
+        return queue
+
+    def iter_queues(self) -> Iterator[Queue]:
+        return iter(self.queues.values())
+
+    def slab_distribution(self) -> dict[tuple[int, int], int]:
+        """Slab count per queue — the series Figs 3 and 4 plot."""
+        return {q.qid: q.slabs for q in self.queues.values() if q.slabs}
+
+    def class_slab_distribution(self) -> dict[int, int]:
+        """Slab count per size class (bins folded together)."""
+        dist: dict[int, int] = {}
+        for q in self.queues.values():
+            if q.slabs:
+                dist[q.class_idx] = dist.get(q.class_idx, 0) + q.slabs
+        return dist
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def get(self, key: object,
+            miss_info: tuple[int, int, float] | None = None) -> Item | None:
+        """Look up ``key``; returns the Item on a hit, None on a miss.
+
+        ``miss_info`` is ``(key_size, value_size, penalty)`` for the key,
+        when the caller (the trace simulator) knows it; it feeds policy
+        miss accounting and the service-time statistics.  A real server
+        calls ``get(key)`` plain and penalties are accounted on the
+        subsequent fill SET instead.
+        """
+        self.accesses += 1
+        self.stats.gets += 1
+        self._in_operation = True
+        try:
+            item = self.index.get(key)
+            if item is not None and item.expires_at \
+                    and self.clock() >= item.expires_at:
+                self._unlink(item)
+                self.stats.expired += 1
+                item = None
+            if item is not None:
+                queue = self.queues[(item.class_idx, item.bin_idx)]
+                queue.stats.gets += 1
+                queue.stats.hits += 1
+                self.stats.hits += 1
+                self.policy.on_hit(queue, item)
+                queue.lru.move_to_front(item)
+                item.last_access = self.accesses
+                return item
+            # miss
+            self.stats.misses += 1
+            class_idx, penalty = -1, math.nan
+            if miss_info is not None:
+                key_size, value_size, penalty = miss_info
+                try:
+                    class_idx = self.size_classes.class_for_size(
+                        key_size + value_size)
+                except ItemTooLargeError:
+                    class_idx = -1
+                if penalty == penalty:  # not NaN
+                    self.stats.total_miss_penalty += penalty
+                bin_idx = (self.policy.bin_for(penalty)
+                           if penalty == penalty else 0)
+                if class_idx >= 0:
+                    q = self.queue_for(class_idx, bin_idx)
+                    q.stats.gets += 1
+                    q.stats.misses += 1
+            self.policy.on_miss(key, class_idx, penalty)
+            return None
+        finally:
+            self._in_operation = False
+            self._flush_migrations()
+
+    def set(self, key: object, key_size: int, value_size: int,
+            penalty: float, value: object = None,
+            expires_at: float = 0.0) -> bool:
+        """Store an item; returns False if it cannot be stored.
+
+        An existing item under the same key is replaced (its slot is
+        released first, so a same-class replacement never evicts).
+        ``expires_at`` is an absolute clock time (0.0 = never).
+        """
+        if key_size < 0 or value_size < 0 or key_size + value_size <= 0:
+            raise InvalidItemError(
+                f"invalid sizes key={key_size} value={value_size}")
+        if not (penalty >= 0):  # catches NaN and negatives
+            raise InvalidItemError(f"penalty must be >= 0, got {penalty}")
+        self.accesses += 1
+        try:
+            class_idx = self.size_classes.class_for_size(key_size + value_size)
+        except ItemTooLargeError:
+            self.stats.rejected_too_large += 1
+            return False
+
+        self._in_operation = True
+        try:
+            old = self.index.get(key)
+            if old is not None:
+                self._unlink(old)
+
+            bin_idx = self.policy.bin_for(penalty)
+            queue = self.queue_for(class_idx, bin_idx)
+            item = Item(key, key_size, value_size, penalty, class_idx,
+                        bin_idx, value, expires_at)
+            try:
+                self._ensure_slot(queue)
+            except OutOfMemoryError:
+                self.stats.set_failures += 1
+                return False
+            queue.lru.push_front(item)
+            item.last_access = self.accesses
+            self.index[key] = item
+            queue.stats.sets += 1
+            self.stats.sets += 1
+            self.policy.on_insert(queue, item)
+            return True
+        finally:
+            self._in_operation = False
+            self._flush_migrations()
+
+    def delete(self, key: object) -> bool:
+        """Remove ``key``; returns True if it was present."""
+        self.accesses += 1
+        item = self.index.get(key)
+        if item is None:
+            return False
+        self._unlink(item)
+        self.stats.deletes += 1
+        return True
+
+    def touch(self, key: object, expires_at: float) -> bool:
+        """Update a live item's expiry; returns False if absent/expired."""
+        item = self.index.get(key)
+        if item is None:
+            return False
+        if item.expires_at and self.clock() >= item.expires_at:
+            self._unlink(item)
+            self.stats.expired += 1
+            return False
+        item.expires_at = expires_at
+        return True
+
+    def flush_all(self) -> int:
+        """Drop every item (memcached ``flush_all``); slabs keep their
+        class assignments, exactly like memcached's lazy invalidation.
+        Returns the number of items dropped."""
+        keys = list(self.index)
+        for key in keys:
+            self._unlink(self.index[key])
+        self.stats.flushes += 1
+        return len(keys)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.index
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    @property
+    def used_bytes(self) -> int:
+        """Item bytes currently stored (ignoring slot rounding)."""
+        return sum(i.total_size for i in self.index.values())
+
+    # ------------------------------------------------------------------
+    # space mechanics
+    # ------------------------------------------------------------------
+    def _ensure_slot(self, queue: Queue) -> None:
+        """Make sure ``queue`` has at least one free slot."""
+        guard = 0
+        while queue.free_slots < 1:
+            guard += 1
+            if guard > self.pool.total + 4:
+                raise PolicyError(
+                    f"pressure resolution for {queue.qid} did not converge")
+            if self.pool.free > 0 and self.policy.wants_free_slab(queue):
+                self.pool.acquire(queue.qid)
+                queue.slabs += 1
+                queue.stats.slabs_received += 1
+                continue
+            must_migrate = queue.slabs == 0
+            donor = self.policy.resolve_pressure(queue, must_migrate)
+            if donor is None and must_migrate:
+                if self.policy.allow_fallback_donor:
+                    donor = default_donor(self, queue)
+                if donor is None:
+                    raise OutOfMemoryError(
+                        f"no donor for empty queue {queue.qid}")
+            if donor is None or donor is queue:
+                self._evict_one(queue)
+            else:
+                self._migrate_slab(donor, queue)
+
+    def _evict_one(self, queue: Queue) -> None:
+        """Evict one item from ``queue`` (policy-chosen, default LRU)."""
+        victim = self.policy.choose_victim(queue)
+        if victim is not None:
+            if (victim.class_idx, victim.bin_idx) != queue.qid:
+                raise PolicyError(
+                    f"policy chose victim {victim.key!r} from queue "
+                    f"{(victim.class_idx, victim.bin_idx)}, not {queue.qid}")
+            queue.lru.remove(victim)
+        else:
+            victim = queue.lru.pop_back()
+        if victim is None:
+            raise OutOfMemoryError(f"queue {queue.qid} has nothing to evict")
+        del self.index[victim.key]
+        queue.stats.evictions += 1
+        self.stats.evictions += 1
+        self.policy.on_evict(queue, victim)
+
+    def _migrate_slab(self, donor: Queue, receiver: Queue) -> None:
+        """Move one slab from ``donor`` to ``receiver``.
+
+        Evicts the donor's LRU items until one slab's worth of slots is
+        free (the paper's discard-and-compact), then transfers ownership.
+        """
+        if not donor.can_donate():
+            raise PolicyError(
+                f"policy {self.policy.name!r} chose slabless donor {donor.qid}")
+        target_used = (donor.slabs - 1) * donor.slots_per_slab
+        while donor.used_slots > target_used:
+            self._evict_one(donor)
+        self.pool.transfer(donor.qid, receiver.qid)
+        donor.slabs -= 1
+        receiver.slabs += 1
+        donor.stats.slabs_donated += 1
+        receiver.stats.slabs_received += 1
+        self.stats.migrations += 1
+
+    def migrate(self, donor: Queue, receiver: Queue) -> None:
+        """Proactively move one slab from ``donor`` to ``receiver``.
+
+        Public entry point for policies that rebalance on a timer (PSA,
+        Facebook's age balancer, the 1.4.11 automover, LAMA) rather than
+        only under SET pressure.  A request made from inside a policy
+        callback is deferred until the triggering cache operation
+        completes (the migration's evictions must not race the item
+        being served).
+        """
+        if donor is receiver:
+            raise PolicyError("donor and receiver are the same queue")
+        if self._in_operation:
+            self._pending_migrations.append((donor, receiver))
+        else:
+            self._migrate_slab(donor, receiver)
+
+    def _flush_migrations(self) -> None:
+        while self._pending_migrations:
+            donor, receiver = self._pending_migrations.pop(0)
+            # Re-validate: the pressure path may have drained the donor
+            # between the request and now.
+            if donor.can_donate() and donor is not receiver:
+                self._migrate_slab(donor, receiver)
+
+    # ------------------------------------------------------------------
+    # integrity
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Full structural audit (tests + property checks)."""
+        self.pool.check_invariants()
+        total_items = 0
+        for q in self.queues.values():
+            q.check_invariants()
+            assert q.slabs == self.pool.owned_by(q.qid), (
+                f"queue {q.qid} slab count disagrees with pool")
+            total_items += len(q.lru)
+            for item in q.lru:
+                assert self.index.get(item.key) is item, (
+                    f"queue item {item.key!r} not in index")
+        assert total_items == len(self.index), (
+            f"{total_items} queued items vs {len(self.index)} indexed")
+
+    def _unlink(self, item: Item) -> None:
+        """Remove an item from its queue and the index (not an eviction)."""
+        queue = self.queues[(item.class_idx, item.bin_idx)]
+        queue.lru.remove(item)
+        del self.index[item.key]
+        self.policy.on_remove(queue, item)
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI and examples."""
+        return (f"SlabCache[{self.policy.name}] "
+                f"{fmt_bytes(self.pool.total * self.pool.slab_size)} "
+                f"({self.pool.total} slabs x "
+                f"{fmt_bytes(self.pool.slab_size)}), "
+                f"{len(self.index)} items, hit_ratio={self.stats.hit_ratio:.3f}")

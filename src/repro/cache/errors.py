@@ -1,0 +1,32 @@
+"""Exceptions raised by the slab-cache substrate."""
+
+from __future__ import annotations
+
+
+class CacheError(Exception):
+    """Base class for all cache errors."""
+
+
+class ItemTooLargeError(CacheError):
+    """The item does not fit in the largest size class (one whole slab)."""
+
+    def __init__(self, size: int, max_size: int) -> None:
+        super().__init__(f"item of {size}B exceeds largest class slot of {max_size}B")
+        self.size = size
+        self.max_size = max_size
+
+
+class OutOfMemoryError(CacheError):
+    """No slab could be found or freed to store an item.
+
+    With a sane policy this only happens when the cache is configured
+    with zero slabs, or a policy refuses to name a donor when asked.
+    """
+
+
+class InvalidItemError(CacheError):
+    """Malformed item parameters (negative sizes, non-finite penalty...)."""
+
+
+class PolicyError(CacheError):
+    """An allocation policy violated its contract (e.g. named an empty donor)."""

@@ -1,0 +1,57 @@
+"""Cache item: an intrusive doubly-linked LRU node carrying KV metadata."""
+
+from __future__ import annotations
+
+
+class Item:
+    """A cached key-value item.
+
+    The item doubles as its own LRU-list node (``prev``/``next``), the
+    standard intrusive-list trick that makes hit handling allocation-free
+    on the hot path.
+
+    Attributes:
+        key: the cache key (int in simulations, str/bytes in the server).
+        key_size / value_size: logical sizes in bytes; the slab slot the
+            item occupies is derived from their sum plus the per-item
+            overhead configured in :class:`~repro.cache.sizeclasses.SizeClassConfig`.
+        penalty: the miss penalty of this key in seconds — the time the
+            backend needs to recompute the value.  PAMA bins on this.
+        class_idx / bin_idx: the queue this item currently lives in.
+        last_access: cache access tick of the most recent GET hit or SET
+            (the "age" used by the Facebook rebalancer).
+        value: optional payload (only the real server stores one; the
+            simulator leaves it ``None`` to keep memory flat).
+    """
+
+    __slots__ = ("key", "key_size", "value_size", "penalty", "class_idx",
+                 "bin_idx", "last_access", "value", "prev", "next", "seg",
+                 "expires_at")
+
+    def __init__(self, key: object, key_size: int, value_size: int,
+                 penalty: float, class_idx: int = -1, bin_idx: int = 0,
+                 value: object = None, expires_at: float = 0.0) -> None:
+        self.key = key
+        self.key_size = key_size
+        self.value_size = value_size
+        self.penalty = penalty
+        self.class_idx = class_idx
+        self.bin_idx = bin_idx
+        self.last_access = 0
+        self.value = value
+        #: absolute expiry time in seconds (0.0 = never expires).
+        self.expires_at = expires_at
+        self.prev: Item | None = None
+        self.next: Item | None = None
+        # Segment index maintained by a SegmentedLRU observer (-1 = above
+        # all tracked bottom segments).
+        self.seg = -1
+
+    @property
+    def total_size(self) -> int:
+        """Logical item footprint excluding allocator overhead."""
+        return self.key_size + self.value_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Item(key={self.key!r}, size={self.total_size}, "
+                f"penalty={self.penalty:.4f}, q=({self.class_idx},{self.bin_idx}))")

@@ -1,0 +1,127 @@
+"""Intrusive doubly-linked LRU list with an optional observer.
+
+The list links :class:`~repro.cache.item.Item` nodes through their own
+``prev``/``next`` slots, so push/remove/move are pointer surgery with no
+allocation.  Order convention: **front = MRU, back = LRU** (the paper's
+"stack top" is the front, "stack bottom" the back).
+
+An observer (PAMA's segment tracker) can subscribe to structural
+changes; callbacks fire *after* the list is consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol
+
+from repro.cache.item import Item
+
+
+class LRUObserver(Protocol):
+    """Callbacks a segment tracker implements to shadow list changes.
+
+    ``on_push_front`` fires after the item is linked at the front;
+    ``on_remove`` fires *before* the item is unlinked, so the observer
+    can still read ``item.prev``/``item.next``.
+    """
+
+    def on_push_front(self, item: Item) -> None: ...
+
+    def on_remove(self, item: Item) -> None: ...
+
+
+class LRUList:
+    """Doubly-linked list of Items; front is MRU, back is LRU."""
+
+    __slots__ = ("head", "tail", "size", "observer")
+
+    def __init__(self) -> None:
+        self.head: Item | None = None   # MRU
+        self.tail: Item | None = None   # LRU
+        self.size = 0
+        self.observer: LRUObserver | None = None
+
+    def push_front(self, item: Item) -> None:
+        """Insert ``item`` at the MRU end. The item must be unlinked."""
+        item.prev = None
+        item.next = self.head
+        if self.head is not None:
+            self.head.prev = item
+        self.head = item
+        if self.tail is None:
+            self.tail = item
+        self.size += 1
+        if self.observer is not None:
+            self.observer.on_push_front(item)
+
+    def remove(self, item: Item) -> None:
+        """Unlink ``item`` from the list."""
+        if self.observer is not None:
+            self.observer.on_remove(item)
+        prev, nxt = item.prev, item.next
+        if prev is not None:
+            prev.next = nxt
+        else:
+            self.head = nxt
+        if nxt is not None:
+            nxt.prev = prev
+        else:
+            self.tail = prev
+        item.prev = item.next = None
+        self.size -= 1
+
+    def move_to_front(self, item: Item) -> None:
+        """Promote ``item`` to MRU (the LRU 'hit' operation)."""
+        if self.head is item:
+            return
+        self.remove(item)
+        self.push_front(item)
+
+    def pop_back(self) -> Item | None:
+        """Remove and return the LRU item, or None if empty."""
+        item = self.tail
+        if item is not None:
+            self.remove(item)
+        return item
+
+    @property
+    def back(self) -> Item | None:
+        return self.tail
+
+    @property
+    def front(self) -> Item | None:
+        return self.head
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __iter__(self) -> Iterator[Item]:
+        """Iterate MRU → LRU."""
+        node = self.head
+        while node is not None:
+            # Capture next before yielding so callers may unlink the
+            # yielded node.
+            nxt = node.next
+            yield node
+            node = nxt
+
+    def iter_from_back(self) -> Iterator[Item]:
+        """Iterate LRU → MRU (the order evictions scan)."""
+        node = self.tail
+        while node is not None:
+            prv = node.prev
+            yield node
+            node = prv
+
+    def check_invariants(self) -> None:
+        """Verify structural integrity; used by tests and debug builds."""
+        count = 0
+        prev = None
+        node = self.head
+        while node is not None:
+            assert node.prev is prev, "broken prev link"
+            prev = node
+            node = node.next
+            count += 1
+            assert count <= self.size, "cycle detected"
+        assert count == self.size, f"size mismatch: {count} != {self.size}"
+        assert self.tail is prev, "tail does not match last node"

@@ -1,0 +1,74 @@
+"""Global slab pool: the cache's unit of memory allocation.
+
+The paper allocates memory to classes "in a fixed unit called a slab".
+The pool tracks how many slabs exist, how many are free, and which
+queue owns each allocated slab.  The simulator never materialises slab
+payload bytes — the *accounting* is what drives every policy decision —
+but the ownership registry gives the same observable state a real
+allocator would (and powers the Fig 3/4 allocation time series).
+"""
+
+from __future__ import annotations
+
+from repro._util import fmt_bytes
+from repro.cache.errors import OutOfMemoryError
+
+
+class SlabPool:
+    """Fixed budget of slabs, handed out to queues and reclaimed on migration."""
+
+    __slots__ = ("slab_size", "total", "free", "_owned")
+
+    def __init__(self, capacity_bytes: int, slab_size: int) -> None:
+        if slab_size <= 0:
+            raise ValueError("slab_size must be positive")
+        if capacity_bytes < slab_size:
+            raise ValueError(
+                f"capacity {fmt_bytes(capacity_bytes)} below one slab "
+                f"({fmt_bytes(slab_size)})")
+        self.slab_size = slab_size
+        self.total = capacity_bytes // slab_size
+        self.free = self.total
+        # queue id -> number of slabs owned.  Queue ids are the
+        # (class_idx, bin_idx) tuples used by SlabCache.
+        self._owned: dict[tuple[int, int], int] = {}
+
+    def acquire(self, owner: tuple[int, int]) -> None:
+        """Hand one free slab to ``owner``."""
+        if self.free <= 0:
+            raise OutOfMemoryError("no free slabs in pool")
+        self.free -= 1
+        self._owned[owner] = self._owned.get(owner, 0) + 1
+
+    def transfer(self, donor: tuple[int, int], receiver: tuple[int, int]) -> None:
+        """Move one slab from ``donor`` to ``receiver`` (a migration)."""
+        owned = self._owned.get(donor, 0)
+        if owned <= 0:
+            raise OutOfMemoryError(f"queue {donor} owns no slab to donate")
+        self._owned[donor] = owned - 1
+        self._owned[receiver] = self._owned.get(receiver, 0) + 1
+
+    def release(self, owner: tuple[int, int]) -> None:
+        """Return one of ``owner``'s slabs to the free pool."""
+        owned = self._owned.get(owner, 0)
+        if owned <= 0:
+            raise OutOfMemoryError(f"queue {owner} owns no slab to release")
+        self._owned[owner] = owned - 1
+        self.free += 1
+
+    def owned_by(self, owner: tuple[int, int]) -> int:
+        return self._owned.get(owner, 0)
+
+    def ownership(self) -> dict[tuple[int, int], int]:
+        """Snapshot of slab ownership (queue id -> slab count)."""
+        return {q: n for q, n in self._owned.items() if n > 0}
+
+    def check_invariants(self) -> None:
+        allocated = sum(self._owned.values())
+        assert allocated >= 0 and self.free >= 0
+        assert allocated + self.free == self.total, (
+            f"slab leak: {allocated} owned + {self.free} free != {self.total}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SlabPool(total={self.total}, free={self.free}, "
+                f"slab={fmt_bytes(self.slab_size)})")

@@ -1,0 +1,236 @@
+"""Command-line interface: ``repro-kv``.
+
+Subcommands:
+
+* ``generate`` — synthesize a workload trace to .npz/.csv
+* ``analyze``  — print trace statistics (the Fig 1 table)
+* ``simulate`` — replay a trace/workload under one policy
+* ``compare``  — replay under several policies and rank them
+* ``serve``    — run the memcached-protocol server
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro._util import fmt_bytes, fmt_seconds, parse_size
+from repro.policies import POLICY_NAMES
+from repro.sim.experiment import ExperimentSpec, run_comparison
+from repro.sim.report import ascii_chart, comparison_summary
+from repro.traces import analyze as analyze_trace
+from repro.traces import (generate as generate_trace, get_profile, load_csv,
+                          load_npz, save_csv, save_npz)
+
+
+def _load_trace(path: str):
+    if path.endswith(".csv"):
+        return load_csv(path)
+    return load_npz(path)
+
+
+def _trace_from_args(args) -> "object":
+    if args.trace:
+        return _load_trace(args.trace)
+    profile = get_profile(args.workload)
+    if args.scale != 1.0:
+        profile = profile.scaled(args.scale)
+    return generate_trace(profile, args.requests, seed=args.seed)
+
+
+def _add_trace_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--trace", help="trace file (.npz/.csv); otherwise synthesize")
+    sub.add_argument("--workload", default="etc",
+                     help="workload profile (etc/app/usr/sys/var)")
+    sub.add_argument("--requests", type=int, default=500_000,
+                     help="requests to synthesize")
+    sub.add_argument("--scale", type=float, default=0.2,
+                     help="key-universe scale factor for synthesis")
+    sub.add_argument("--seed", type=int, default=0)
+
+
+def _add_cache_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--cache-size", default="64MiB",
+                     help="total cache memory (e.g. 64MiB, 1GiB)")
+    sub.add_argument("--slab-size", default="64KiB", help="slab size")
+    sub.add_argument("--window", type=int, default=50_000,
+                     help="GETs per metrics window")
+    sub.add_argument("--hit-time", type=float, default=1e-4,
+                     help="service time of a hit, seconds")
+
+
+def cmd_generate(args) -> int:
+    profile = get_profile(args.workload)
+    if args.scale != 1.0:
+        profile = profile.scaled(args.scale)
+    trace = generate_trace(profile, args.requests, seed=args.seed)
+    if args.out.endswith(".csv"):
+        save_csv(trace, args.out)
+    else:
+        save_npz(trace, args.out)
+    print(f"wrote {len(trace)} requests ({trace.unique_keys} unique keys) "
+          f"to {args.out}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    trace = _load_trace(args.trace)
+    print(analyze_trace(trace).format())
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    trace = _trace_from_args(args)
+    spec = ExperimentSpec(name="cli", cache_bytes=parse_size(args.cache_size),
+                          slab_size=parse_size(args.slab_size),
+                          hit_time=args.hit_time, window_gets=args.window)
+    cache = spec.build_cache(args.policy)
+    from repro.sim.simulator import simulate
+    result = simulate(trace, cache, hit_time=args.hit_time,
+                      window_gets=args.window)
+    print(f"policy           {result.policy}")
+    print(f"cache            {fmt_bytes(spec.cache_bytes)} "
+          f"({spec.cache_bytes // spec.slab_size} slabs)")
+    print(f"GETs             {result.total_gets}")
+    print(f"hit ratio        {result.hit_ratio:.4f}")
+    print(f"avg service time {fmt_seconds(result.avg_service_time)}")
+    print(f"evictions        {result.cache_stats['evictions']:.0f}")
+    print(f"migrations       {result.cache_stats['migrations']:.0f}")
+    if args.chart and result.windows:
+        print()
+        print(ascii_chart({"hit_ratio": result.hit_ratio_series()},
+                          title="hit ratio per window"))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    trace = _trace_from_args(args)
+    policies = args.policies.split(",")
+    for name in policies:
+        if name not in POLICY_NAMES:
+            print(f"unknown policy {name!r}; choose from {POLICY_NAMES}",
+                  file=sys.stderr)
+            return 2
+    spec = ExperimentSpec(name="cli", cache_bytes=parse_size(args.cache_size),
+                          slab_size=parse_size(args.slab_size),
+                          hit_time=args.hit_time, window_gets=args.window)
+    cmp = run_comparison(trace, spec, policies, verbose=args.verbose)
+    print(comparison_summary(cmp.results))
+    if args.chart:
+        print()
+        print(ascii_chart(
+            {n: r.service_time_series() for n, r in cmp.results.items()},
+            title="avg service time per window (s)"))
+    return 0
+
+
+def cmd_cluster(args) -> int:
+    from repro.cache import SizeClassConfig
+    from repro.cluster import CacheCluster
+    from repro.policies import make_policy
+    from repro.sim.report import format_table
+    from repro.sim.simulator import simulate
+
+    trace = _trace_from_args(args)
+    total = parse_size(args.cache_size)
+    classes = SizeClassConfig(slab_size=parse_size(args.slab_size))
+    node_counts = [int(n) for n in args.nodes.split(",")]
+    rows = []
+    for n in node_counts:
+        if n <= 0 or total // n < classes.slab_size:
+            print(f"skipping {n} nodes: per-node share below one slab",
+                  file=sys.stderr)
+            continue
+        cluster = CacheCluster(
+            [f"node{i}" for i in range(n)], capacity_bytes=total // n,
+            policy_factory=lambda: make_policy(args.policy),
+            size_classes=classes)
+        result = simulate(trace, cluster, hit_time=args.hit_time,
+                          window_gets=args.window)
+        rows.append([n, fmt_bytes(total // n), result.hit_ratio,
+                     fmt_seconds(result.avg_service_time)])
+    print(f"policy={args.policy}, total memory={fmt_bytes(total)}")
+    print(format_table(["nodes", "per_node", "hit_ratio", "avg_service"],
+                       rows))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.cache import SlabCache, SizeClassConfig
+    from repro.policies import make_policy
+    from repro.server.server import CacheServer
+
+    classes = SizeClassConfig(slab_size=parse_size(args.slab_size))
+    cache = SlabCache(parse_size(args.cache_size),
+                      make_policy(args.policy), classes)
+    server = CacheServer((args.host, args.port), cache)
+    print(f"serving {cache.describe()} on {args.host}:{server.port} "
+          f"(ctrl-c to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-kv",
+        description="PAMA key-value cache reproduction toolkit")
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    g = subs.add_parser("generate", help="synthesize a workload trace")
+    g.add_argument("--workload", default="etc")
+    g.add_argument("--requests", type=int, default=500_000)
+    g.add_argument("--scale", type=float, default=0.2)
+    g.add_argument("--seed", type=int, default=0)
+    g.add_argument("--out", required=True, help="output .npz or .csv path")
+    g.set_defaults(func=cmd_generate)
+
+    a = subs.add_parser("analyze", help="summarize a trace file")
+    a.add_argument("trace")
+    a.set_defaults(func=cmd_analyze)
+
+    s = subs.add_parser("simulate", help="replay under one policy")
+    _add_trace_args(s)
+    _add_cache_args(s)
+    s.add_argument("--policy", default="pama", choices=POLICY_NAMES)
+    s.add_argument("--chart", action="store_true", help="ASCII chart output")
+    s.set_defaults(func=cmd_simulate)
+
+    c = subs.add_parser("compare", help="replay under several policies")
+    _add_trace_args(c)
+    _add_cache_args(c)
+    c.add_argument("--policies", default="memcached,psa,pre-pama,pama")
+    c.add_argument("--chart", action="store_true")
+    c.add_argument("--verbose", action="store_true")
+    c.set_defaults(func=cmd_compare)
+
+    k = subs.add_parser("cluster", help="replay against multi-node clusters")
+    _add_trace_args(k)
+    _add_cache_args(k)
+    k.add_argument("--policy", default="pama", choices=POLICY_NAMES)
+    k.add_argument("--nodes", default="1,2,4",
+                   help="comma-separated node counts to compare")
+    k.set_defaults(func=cmd_cluster)
+
+    v = subs.add_parser("serve", help="run the memcached-protocol server")
+    v.add_argument("--host", default="127.0.0.1")
+    v.add_argument("--port", type=int, default=11311)
+    v.add_argument("--cache-size", default="64MiB")
+    v.add_argument("--slab-size", default="1MiB")
+    v.add_argument("--policy", default="pama", choices=POLICY_NAMES)
+    v.set_defaults(func=cmd_serve)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Multi-node cache cluster: consistent hashing over slab caches."""
+
+from repro.cluster.cluster import CacheCluster
+from repro.cluster.hashring import ConsistentHashRing
+
+__all__ = ["CacheCluster", "ConsistentHashRing"]

@@ -1,0 +1,154 @@
+"""A client-routed cluster of slab caches.
+
+Mirrors the deployment the paper assumes: each node is an independent
+cache with its own allocation policy (no cross-node coordination, like
+production Memcached); clients route keys with consistent hashing.
+
+:class:`CacheCluster` exposes the same ``get``/``set``/``delete``/
+``stats`` surface as a single :class:`~repro.cache.cache.SlabCache`, so
+the trace-driven simulator runs unmodified against a whole cluster —
+which is how the cluster examples/benches measure the effect of node
+counts and node failures on hit ratio and service time.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cache.cache import SlabCache
+from repro.cache.item import Item
+from repro.cache.sizeclasses import SizeClassConfig
+from repro.cache.stats import CacheStats
+from repro.cluster.hashring import ConsistentHashRing
+from repro.policies.base import AllocationPolicy
+
+
+class CacheCluster:
+    """Consistent-hash routed collection of independent SlabCaches.
+
+    Args:
+        node_names: names of the initial nodes.
+        capacity_bytes: memory *per node*.
+        policy_factory: builds a fresh policy per node (policies hold
+            per-cache state and cannot be shared).
+        size_classes: shared class geometry (a fresh equivalent config
+            is safe to share: it is immutable).
+        replicas: virtual nodes per physical node on the ring.
+    """
+
+    def __init__(self, node_names: list[str], capacity_bytes: int,
+                 policy_factory: Callable[[], AllocationPolicy],
+                 size_classes: SizeClassConfig | None = None,
+                 replicas: int = 64) -> None:
+        if not node_names:
+            raise ValueError("cluster needs at least one node")
+        if len(set(node_names)) != len(node_names):
+            raise ValueError("duplicate node names")
+        self.capacity_bytes = capacity_bytes
+        self.policy_factory = policy_factory
+        self.size_classes = size_classes or SizeClassConfig()
+        self.ring = ConsistentHashRing(replicas=replicas)
+        self.nodes: dict[str, SlabCache] = {}
+        for name in node_names:
+            self._spawn(name)
+
+    # -- topology ---------------------------------------------------------
+    def _spawn(self, name: str) -> None:
+        self.ring.add_node(name)
+        self.nodes[name] = SlabCache(self.capacity_bytes,
+                                     self.policy_factory(),
+                                     self.size_classes)
+
+    def add_node(self, name: str) -> None:
+        """Scale out: new empty node; ~1/n of the key space remaps to it."""
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        self._spawn(name)
+
+    def remove_node(self, name: str) -> None:
+        """Node failure/decommission: its cached items are lost and its
+        key range remaps onto the survivors (a cold start for them)."""
+        if name not in self.nodes:
+            raise ValueError(f"node {name!r} does not exist")
+        if len(self.nodes) == 1:
+            raise ValueError("cannot remove the last node")
+        self.ring.remove_node(name)
+        del self.nodes[name]
+
+    def node_names(self) -> list[str]:
+        return sorted(self.nodes)
+
+    def node_for(self, key: object) -> SlabCache:
+        return self.nodes[self.ring.node_for(key)]
+
+    # -- cache surface (simulator-compatible) --------------------------------
+    def get(self, key: object,
+            miss_info: tuple[int, int, float] | None = None) -> Item | None:
+        return self.node_for(key).get(key, miss_info)
+
+    def set(self, key: object, key_size: int, value_size: int,
+            penalty: float, value: object = None) -> bool:
+        return self.node_for(key).set(key, key_size, value_size, penalty,
+                                      value)
+
+    def delete(self, key: object) -> bool:
+        return self.node_for(key).delete(key)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregate of all node counters (computed on access).
+
+        A node removed from the cluster takes its history with it, like
+        a crashed server would.
+        """
+        total = CacheStats()
+        for node in self.nodes.values():
+            s = node.stats
+            total.gets += s.gets
+            total.hits += s.hits
+            total.misses += s.misses
+            total.sets += s.sets
+            total.set_failures += s.set_failures
+            total.deletes += s.deletes
+            total.evictions += s.evictions
+            total.migrations += s.migrations
+            total.rejected_too_large += s.rejected_too_large
+            total.total_miss_penalty += s.total_miss_penalty
+        return total
+
+    def __contains__(self, key: object) -> bool:
+        return key in self.node_for(key)
+
+    def __len__(self) -> int:
+        return sum(len(node) for node in self.nodes.values())
+
+    # -- aggregate introspection (simulator snapshot hooks) -------------------
+    def class_slab_distribution(self) -> dict[int, int]:
+        out: dict[int, int] = {}
+        for node in self.nodes.values():
+            for cls, n in node.class_slab_distribution().items():
+                out[cls] = out.get(cls, 0) + n
+        return out
+
+    def slab_distribution(self) -> dict[tuple[int, int], int]:
+        out: dict[tuple[int, int], int] = {}
+        for node in self.nodes.values():
+            for qid, n in node.slab_distribution().items():
+                out[qid] = out.get(qid, 0) + n
+        return out
+
+    @property
+    def policy(self):
+        """Representative policy (all nodes run the same factory)."""
+        return next(iter(self.nodes.values())).policy
+
+    def check_invariants(self) -> None:
+        assert set(self.ring.nodes) == set(self.nodes)
+        for node in self.nodes.values():
+            node.check_invariants()
+
+    def describe(self) -> str:
+        total_items = len(self)
+        return (f"CacheCluster[{self.policy.name}] {len(self.nodes)} nodes x "
+                f"{self.capacity_bytes} B, {total_items} items, "
+                f"hit_ratio={self.stats.hit_ratio:.3f}")

@@ -1,0 +1,76 @@
+"""Consistent-hash ring for key → cache-node routing.
+
+The paper's setting (§I) is a KV cache that "amasses a large collection
+of memory distributed on a cluster of servers".  Clients shard keys
+over the nodes; consistent hashing keeps the remap fraction near
+``1/n`` when the topology changes — the property that makes node
+addition/removal survivable for the back end.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.bloom.hashing import hash_key
+
+
+class ConsistentHashRing:
+    """Classic ring with virtual nodes (replicas) per physical node."""
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._ring: list[tuple[int, str]] = []  # (point, node), sorted
+        self._nodes: set[str] = set()
+
+    # -- topology ---------------------------------------------------------
+    def add_node(self, node: str) -> None:
+        """Add a node; raises if it is already present."""
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.add(node)
+        for r in range(self.replicas):
+            point = hash_key(f"{node}#{r}")
+            self._ring.append((point, node))
+        self._ring.sort()
+
+    def remove_node(self, node: str) -> None:
+        """Remove a node; raises if it is absent."""
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.discard(node)
+        self._ring = [(p, n) for p, n in self._ring if n != node]
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    # -- routing ---------------------------------------------------------
+    def node_for(self, key: object) -> str:
+        """The node owning ``key``; raises on an empty ring."""
+        if not self._ring:
+            raise LookupError("hash ring is empty")
+        point = hash_key(key, seed=0x52494E47)
+        idx = bisect_right(self._ring, (point, "￿"))
+        if idx == len(self._ring):
+            idx = 0
+        return self._ring[idx][1]
+
+    def distribution(self, keys) -> dict[str, int]:
+        """Count how many of ``keys`` each node owns (balance check)."""
+        out: dict[str, int] = {n: 0 for n in self._nodes}
+        for key in keys:
+            out[self.node_for(key)] += 1
+        return out
+
+    def remap_fraction(self, keys, other: "ConsistentHashRing") -> float:
+        """Fraction of ``keys`` that route differently on ``other``."""
+        keys = list(keys)
+        if not keys:
+            return 0.0
+        moved = sum(1 for k in keys if self.node_for(k) != other.node_for(k))
+        return moved / len(keys)

@@ -1,0 +1,95 @@
+"""Bloom-filter based segment membership — the paper's §III mechanism.
+
+"We propose to use Bloom filters to complete the testing in O(1) time
+with small space overhead.  We use one Bloom filter for each reference
+segment. ... we set up a Bloom filter, called a removal filter, to
+track the items that have been recently removed out of the segments."
+
+Filters are rebuilt from the live stack bottom once per rebuild
+interval; between rebuilds, accesses are answered from the filters with
+the removal filter masking items that were promoted out.  This is an
+approximation (items drifting *into* segments between rebuilds are
+invisible until the next rebuild), which is exactly the trade-off the
+paper accepts; the exact tracker exists to quantify it (ablation bench).
+"""
+
+from __future__ import annotations
+
+from repro.bloom import BloomFilter, RemovalFilter
+from repro.cache.item import Item
+from repro.cache.lru import LRUList
+
+
+class BloomSegmentTracker:
+    """Drop-in alternative to :class:`~repro.core.segments.SegmentTracker`."""
+
+    __slots__ = ("lru", "seg_len", "num_segments", "filters", "removal",
+                 "rebuilds", "queries", "false_region_hits")
+
+    def __init__(self, lru: LRUList, seg_len: int, num_segments: int,
+                 fp_rate: float = 0.01, seed: int = 0) -> None:
+        if seg_len <= 0 or num_segments <= 0:
+            raise ValueError("seg_len and num_segments must be positive")
+        if lru.observer is not None:
+            raise ValueError("LRU list already has an observer")
+        self.lru = lru
+        self.seg_len = seg_len
+        self.num_segments = num_segments
+        self.filters = [BloomFilter(max(seg_len, 8), fp_rate, seed=seed + k)
+                        for k in range(num_segments)]
+        self.removal = RemovalFilter(max(seg_len * num_segments, 8),
+                                     fp_rate, seed=seed + 0x52454D)
+        self.rebuilds = 0
+        self.queries = 0
+        self.false_region_hits = 0
+        lru.observer = self
+
+    # -- queries ---------------------------------------------------------
+    def segment_on_access(self, item: Item) -> int:
+        """Segment attributed to this access, or -1.
+
+        Tests the per-segment filters bottom-up; a positive counts only
+        if the removal filter does not mask it.  A matching item is then
+        marked removed (its promotion pulls it out of the segment).
+        """
+        self.queries += 1
+        key = item.key
+        if self.removal.masks(key):
+            return -1
+        for k, filt in enumerate(self.filters):
+            if key in filt:
+                self.removal.mark_removed(key)
+                return k
+        return -1
+
+    def rollover(self) -> None:
+        """Window boundary: rebuild the segment filters from the stack."""
+        self.rebuild()
+
+    # -- LRU observer (structural changes handled lazily at rebuild) -------
+    def on_push_front(self, item: Item) -> None:
+        item.seg = -1  # the bloom tracker does not maintain item.seg
+
+    def on_remove(self, item: Item) -> None:
+        pass
+
+    # -- maintenance ----------------------------------------------------------
+    def rebuild(self) -> None:
+        """Repopulate the per-segment filters by walking the stack bottom.
+
+        Adding a key that collides with the removal filter clears the
+        removal filter, per the paper: otherwise the fresh member would
+        be wrongly masked.
+        """
+        for filt in self.filters:
+            filt.clear()
+        node = self.lru.back
+        pos = 0
+        limit = self.num_segments * self.seg_len
+        while node is not None and pos < limit:
+            seg = pos // self.seg_len
+            self.removal.on_segment_add(node.key)
+            self.filters[seg].add(node.key)
+            node = node.prev
+            pos += 1
+        self.rebuilds += 1

@@ -1,0 +1,202 @@
+"""Ghost list: PAMA's extension of the LRU stack below its bottom.
+
+Paper §III (second challenge): "we extend the LRU stack beyond its
+current bottom to remember recently replaced items.  ...  this extended
+section only records keys and miss penalties of KV items, rather than
+the items' value components."
+
+The ghost is divided into segments of ``seg_len`` entries measured from
+the ghost *top* (= the position right beneath the live stack bottom):
+segment G0 is the **receiving segment** — the items a newly granted slab
+would cache — and G1..Gm are the reference segments for Eq. 2's weighted
+incoming value.
+
+Entries are ordered by eviction recency: the most recently evicted item
+sits at the ghost top.  Capacity is ``num_segments * seg_len``; pushing
+past it drops the oldest (bottom) entry.
+
+Segment tracking mirrors :class:`~repro.core.segments.SegmentTracker`
+with the direction flipped (distances measured from the top, so a push
+shifts *every* boundary instead of none).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+
+class GhostEntry:
+    """A remembered eviction: key + penalty only (no value payload)."""
+
+    __slots__ = ("key", "penalty", "prev", "next", "seg")
+
+    def __init__(self, key: object, penalty: float) -> None:
+        self.key = key
+        self.penalty = penalty
+        self.prev: GhostEntry | None = None  # toward ghost top
+        self.next: GhostEntry | None = None  # toward ghost bottom
+        self.seg = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GhostEntry({self.key!r}, penalty={self.penalty:.4f}, seg={self.seg})"
+
+
+class GhostList:
+    """Bounded, segment-tracked list of recently evicted keys."""
+
+    __slots__ = ("seg_len", "num_segments", "capacity", "head", "tail",
+                 "index", "bounds", "n")
+
+    def __init__(self, seg_len: int, num_segments: int) -> None:
+        if seg_len <= 0:
+            raise ValueError(f"seg_len must be positive, got {seg_len}")
+        if num_segments <= 0:
+            raise ValueError(f"num_segments must be positive, got {num_segments}")
+        self.seg_len = seg_len
+        self.num_segments = num_segments
+        self.capacity = seg_len * num_segments
+        self.head: GhostEntry | None = None  # top (most recent eviction)
+        self.tail: GhostEntry | None = None  # bottom (oldest)
+        self.index: dict[object, GhostEntry] = {}
+        # bounds[k]: entry at top-distance exactly k*seg_len (the topmost
+        # entry of segment k), or None when the ghost is shorter.
+        self.bounds: list[GhostEntry | None] = [None] * num_segments
+        self.n = 0
+
+    # -- queries ---------------------------------------------------------
+    def __contains__(self, key: object) -> bool:
+        return key in self.index
+
+    def __len__(self) -> int:
+        return self.n
+
+    def lookup(self, key: object) -> GhostEntry | None:
+        return self.index.get(key)
+
+    def segment_of(self, key: object) -> int:
+        """Ghost segment of ``key`` (-1 if absent)."""
+        entry = self.index.get(key)
+        return entry.seg if entry is not None else -1
+
+    def __iter__(self) -> Iterator[GhostEntry]:
+        """Iterate top → bottom."""
+        node = self.head
+        while node is not None:
+            nxt = node.next
+            yield node
+            node = nxt
+
+    # -- mutations ----------------------------------------------------------
+    def push(self, key: object, penalty: float) -> object | None:
+        """Record an eviction at the ghost top.
+
+        Returns the key dropped off the ghost bottom (capacity overflow)
+        or None.  A key already present is refreshed (moved to top).
+        """
+        old = self.index.get(key)
+        if old is not None:
+            self._remove_entry(old)
+
+        entry = GhostEntry(key, penalty)
+        # Every existing entry's top-distance grows by one: each boundary
+        # pointer moves one step toward the top.
+        old_len = self.n
+        bounds = self.bounds
+        for k in range(self.num_segments - 1, 0, -1):
+            p_k = k * self.seg_len
+            node = bounds[k]
+            if node is not None:
+                newly = node.prev
+            elif old_len == p_k:
+                newly = self.tail
+            else:
+                newly = None
+            if newly is not None:
+                newly.seg = k
+            bounds[k] = newly
+
+        entry.next = self.head
+        entry.prev = None
+        if self.head is not None:
+            self.head.prev = entry
+        self.head = entry
+        if self.tail is None:
+            self.tail = entry
+        entry.seg = 0
+        bounds[0] = entry
+        self.n += 1
+        self.index[key] = entry
+
+        if self.n > self.capacity:
+            dropped = self.tail
+            assert dropped is not None
+            self._remove_entry(dropped)
+            return dropped.key
+        return None
+
+    def remove(self, key: object) -> bool:
+        """Forget ``key`` (it re-entered the cache). True if present."""
+        entry = self.index.get(key)
+        if entry is None:
+            return False
+        self._remove_entry(entry)
+        return True
+
+    def _remove_entry(self, entry: GhostEntry) -> None:
+        s = entry.seg
+        bounds = self.bounds
+        # Entries beneath the removed one move up: boundaries strictly
+        # below shift one step toward the bottom.
+        for k in range(s + 1, self.num_segments):
+            node = bounds[k]
+            if node is None:
+                break
+            node.seg = k - 1
+            bounds[k] = node.next
+        if bounds[s] is entry:
+            bounds[s] = entry.next if entry.next is not None else None
+            # entry.next (old distance p_s+1) now has distance p_s; its
+            # segment is unchanged unless seg_len == 1, which the loop
+            # above already fixed.
+
+        prev, nxt = entry.prev, entry.next
+        if prev is not None:
+            prev.next = nxt
+        else:
+            self.head = nxt
+        if nxt is not None:
+            nxt.prev = prev
+        else:
+            self.tail = prev
+        entry.prev = entry.next = None
+        self.n -= 1
+        del self.index[entry.key]
+
+    def clear(self) -> None:
+        self.head = self.tail = None
+        self.index.clear()
+        self.bounds = [None] * self.num_segments
+        self.n = 0
+
+    # -- verification -------------------------------------------------------
+    def check_invariants(self) -> None:
+        assert self.n == len(self.index) <= self.capacity
+        expected_bounds: list[GhostEntry | None] = [None] * self.num_segments
+        d = 0
+        node = self.head
+        prev = None
+        while node is not None:
+            assert node.prev is prev
+            want = d // self.seg_len
+            assert want < self.num_segments, "entry beyond ghost capacity"
+            assert node.seg == want, (
+                f"ghost entry at distance {d}: seg={node.seg}, expected {want}")
+            if d % self.seg_len == 0:
+                expected_bounds[want] = node
+            assert self.index.get(node.key) is node
+            prev = node
+            node = node.next
+            d += 1
+        assert d == self.n, f"walked {d} entries, n={self.n}"
+        assert self.tail is prev
+        assert self.bounds == expected_bounds, "ghost boundary pointers drifted"

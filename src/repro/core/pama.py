@@ -1,0 +1,177 @@
+"""PAMA — the Penalty Aware Memory Allocation policy (paper §III).
+
+Items are routed to subclasses by (size class × penalty bin).  Each
+subclass tracks the value of its bottom ("candidate") slab and of a
+hypothetical extra slab (over the ghost list).  When a subclass needs a
+slot and no free slab exists:
+
+* find the minimum **outgoing value** over all subclasses' candidate
+  slabs;
+* if the requester's **incoming value** exceeds it, migrate that slab;
+* if the cheapest candidate belongs to the requester itself, or the
+  incoming value does not justify a migration, evict one item within
+  the requester (no cross-subclass move).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.bloom_tracker import BloomSegmentTracker
+from repro.core.config import PamaConfig
+from repro.core.ghost import GhostList
+from repro.core.segments import SegmentTracker
+from repro.core.value import ValueAccumulator
+from repro.policies.base import AllocationPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cache.item import Item
+    from repro.cache.queue import Queue
+
+
+class PamaQueueState:
+    """Per-subclass machinery: segment tracker, ghost list, values."""
+
+    __slots__ = ("tracker", "ghost", "values")
+
+    def __init__(self, tracker, ghost: GhostList,
+                 values: ValueAccumulator) -> None:
+        self.tracker = tracker
+        self.ghost = ghost
+        self.values = values
+
+
+class PamaPolicy(AllocationPolicy):
+    """Penalty-aware slab allocation."""
+
+    name = "pama"
+
+    #: contribution of one request to a segment's value; PAMA uses the
+    #: item's miss penalty, pre-PAMA overrides this with a count of 1.
+    penalty_aware = True
+
+    def __init__(self, config: PamaConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or PamaConfig()
+        #: key -> owning queue state, for O(1) ghost lookups on misses
+        #: without knowing the missed item's size.
+        self.ghost_owner: dict[object, PamaQueueState] = {}
+        self._states: dict[tuple[int, int], PamaQueueState] = {}
+        self._last_rollover = 0
+        # decision statistics (reported by the ablation benches)
+        self.migrations_approved = 0
+        self.migrations_declined = 0
+        self.migrations_forced = 0
+
+    # -- binning -------------------------------------------------------
+    def bin_for(self, penalty: float) -> int:
+        return self.config.bin_for(penalty)
+
+    # -- per-queue state --------------------------------------------------
+    def on_queue_created(self, queue: Queue) -> None:
+        cfg = self.config
+        seg_len = queue.slots_per_slab
+        if cfg.tracker == "bloom":
+            tracker = BloomSegmentTracker(
+                queue.lru, seg_len, cfg.num_segments,
+                fp_rate=cfg.bloom_fp_rate,
+                seed=queue.class_idx * 101 + queue.bin_idx)
+        else:
+            tracker = SegmentTracker(queue.lru, seg_len, cfg.num_segments)
+        ghost = GhostList(seg_len, cfg.ghost_depth_segments)
+        state = PamaQueueState(tracker, ghost,
+                               ValueAccumulator(cfg.num_segments))
+        queue.policy_data = state
+        self._states[queue.qid] = state
+
+    # -- value contribution ------------------------------------------------
+    def _contribution(self, penalty: float) -> float:
+        return penalty if self.penalty_aware else 1.0
+
+    def _maybe_rollover(self) -> None:
+        cfg = self.config
+        if self.cache.accesses - self._last_rollover < cfg.value_window:
+            return
+        self._last_rollover = self.cache.accesses
+        for state in self._states.values():
+            state.values.rollover(cfg.window_mode, cfg.decay)
+            state.tracker.rollover()
+
+    # -- event observation ----------------------------------------------
+    def on_hit(self, queue: Queue, item: Item) -> None:
+        self._maybe_rollover()
+        state: PamaQueueState = queue.policy_data
+        seg = state.tracker.segment_on_access(item)
+        if seg >= 0:
+            state.values.add_outgoing(seg, self._contribution(item.penalty))
+
+    def on_miss(self, key: object, class_idx: int, penalty: float) -> None:
+        self._maybe_rollover()
+        state = self.ghost_owner.get(key)
+        if state is None:
+            return
+        entry = state.ghost.lookup(key)
+        if entry is None:  # pragma: no cover - ghost_owner is kept in sync
+            del self.ghost_owner[key]
+            return
+        # Use the penalty remembered at eviction time — "PAMA uses actual
+        # miss penalties associated with each slab".
+        state.values.add_incoming(entry.seg, self._contribution(entry.penalty))
+
+    def on_insert(self, queue: Queue, item: Item) -> None:
+        # The key is live again; it must leave the ghost or a future
+        # eviction/miss would double count it.
+        state = self.ghost_owner.pop(item.key, None)
+        if state is not None:
+            state.ghost.remove(item.key)
+
+    def on_evict(self, queue: Queue, item: Item) -> None:
+        state: PamaQueueState = queue.policy_data
+        dropped = state.ghost.push(item.key, item.penalty)
+        self.ghost_owner[item.key] = state
+        if dropped is not None:
+            self.ghost_owner.pop(dropped, None)
+
+    def on_remove(self, queue: Queue, item: Item) -> None:
+        # DELETE / replacement: the key leaves without becoming a ghost
+        # (it was not evicted for space, so it predicts no saved miss).
+        state = self.ghost_owner.pop(item.key, None)
+        if state is not None:
+            state.ghost.remove(item.key)
+
+    # -- the allocation decision ----------------------------------------------
+    def candidate_values(self) -> dict[tuple[int, int], float]:
+        """Outgoing value of each subclass's candidate slab (diagnostics)."""
+        return {qid: st.values.outgoing_value()
+                for qid, st in self._states.items()}
+
+    def resolve_pressure(self, queue: Queue, must_migrate: bool) -> Queue | None:
+        self._maybe_rollover()
+        state: PamaQueueState = queue.policy_data
+        incoming = state.values.incoming_value()
+
+        donor: Queue | None = None
+        min_out = float("inf")
+        for q in self.cache.iter_queues():
+            if not q.can_donate():
+                continue
+            out = self._states[q.qid].values.outgoing_value()
+            if out < min_out:
+                donor, min_out = q, out
+        if donor is None:
+            return None  # nothing can donate; fallback machinery decides
+
+        if donor is queue:
+            # Scenario 2 (§III): the cheapest candidate slab is our own —
+            # no cross-subclass migration, replace one item in place.
+            self.migrations_declined += 1
+            return queue
+        if incoming <= min_out and not must_migrate:
+            # Scenario 1: a migration would not improve utilization.
+            self.migrations_declined += 1
+            return None
+        if incoming <= min_out:
+            self.migrations_forced += 1
+        else:
+            self.migrations_approved += 1
+        return donor

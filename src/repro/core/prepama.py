@@ -1,0 +1,29 @@
+"""pre-PAMA: the penalty-blind ablation of PAMA (paper §IV).
+
+"a hypothetical version [of] PAMA ... that does not consider the miss
+penalty in the calculation of a segment's value.  That is, in pre-PAMA
+a candidate slab's value is simply the number of requests in the
+segment."
+
+With count-based values, penalty subclasses would be meaningless, so
+pre-PAMA runs one subclass per size class (a single penalty bin), which
+also matches how Fig. 3(c) reports it — per class, not per subclass.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PamaConfig
+from repro.core.pama import PamaPolicy
+
+
+class PrePamaPolicy(PamaPolicy):
+    """PAMA minus the penalty term: request-count slab values."""
+
+    name = "pre-pama"
+    penalty_aware = False
+
+    def __init__(self, config: PamaConfig | None = None) -> None:
+        super().__init__(config)
+
+    def bin_for(self, penalty: float) -> int:
+        return 0

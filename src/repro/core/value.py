@@ -1,0 +1,70 @@
+"""Slab-value accounting (Eq. 1 and Eq. 2 of the paper).
+
+Each subclass (queue) accumulates, per time window:
+
+* ``out[i]`` — penalty mass of requests that hit live segment Si
+  (Eq. 1: ``Vi = sum of Ti over requests landing in Si``), and
+* ``inc[i]`` — penalty mass of misses that landed in ghost segment Gi.
+
+The candidate slab's **outgoing value** and the subclass's **incoming
+value** are the Eq. 2 weighted sums ``V = Σ Vi / 2^(i+1)``.
+
+The paper defines the window in cache accesses but not what happens at
+its boundary; we support the literal ``reset`` and a smoother ``decay``
+(multiply by λ), the default, which keeps decisions meaningful right
+after the boundary.  See DESIGN.md "Interpretation choices".
+"""
+
+from __future__ import annotations
+
+
+class ValueAccumulator:
+    """Per-queue segment value state."""
+
+    __slots__ = ("weights", "out", "inc", "out_hits", "inc_hits")
+
+    def __init__(self, num_segments: int) -> None:
+        if num_segments <= 0:
+            raise ValueError("num_segments must be positive")
+        self.weights = [1.0 / (1 << (i + 1)) for i in range(num_segments)]
+        self.out = [0.0] * num_segments
+        self.inc = [0.0] * num_segments
+        #: raw request counts per segment (pre-PAMA values / diagnostics).
+        self.out_hits = [0] * num_segments
+        self.inc_hits = [0] * num_segments
+
+    def add_outgoing(self, segment: int, amount: float) -> None:
+        """Credit a request on live segment ``segment`` (Eq. 1 term)."""
+        self.out[segment] += amount
+        self.out_hits[segment] += 1
+
+    def add_incoming(self, segment: int, amount: float) -> None:
+        """Credit a miss that fell in ghost segment ``segment``."""
+        self.inc[segment] += amount
+        self.inc_hits[segment] += 1
+
+    def outgoing_value(self) -> float:
+        """Eq. 2: penalty the subclass would suffer losing its bottom slab."""
+        return sum(w * v for w, v in zip(self.weights, self.out))
+
+    def incoming_value(self) -> float:
+        """Eq. 2 over ghost segments: penalty a new slab would save."""
+        return sum(w * v for w, v in zip(self.weights, self.inc))
+
+    def rollover(self, mode: str, decay: float) -> None:
+        """Apply the window-boundary rule."""
+        if mode == "reset":
+            n = len(self.out)
+            self.out = [0.0] * n
+            self.inc = [0.0] * n
+            self.out_hits = [0] * n
+            self.inc_hits = [0] * n
+        elif mode == "decay":
+            self.out = [v * decay for v in self.out]
+            self.inc = [v * decay for v in self.inc]
+            # hit counts follow the same fade so pre-PAMA decays alike;
+            # keep them floats-as-ints by truncation.
+            self.out_hits = [int(v * decay) for v in self.out_hits]
+            self.inc_hits = [int(v * decay) for v in self.inc_hits]
+        else:
+            raise ValueError(f"unknown window mode {mode!r}")

@@ -1,0 +1,91 @@
+"""Slab allocation policies: the paper's baselines plus extensions."""
+
+from repro.policies.automove import AutoMovePolicy
+from repro.policies.base import AllocationPolicy, default_donor
+from repro.policies.facebook import FacebookPolicy
+from repro.policies.gds import GreedyDualSizePolicy
+from repro.policies.lama import LamaPolicy
+from repro.policies.memcached import StaticMemcachedPolicy
+from repro.policies.mrc import (DistanceHistogram, FenwickTree,
+                                ReuseDistanceProfiler)
+from repro.policies.oracle import OraclePolicy
+from repro.policies.psa import PSAPolicy
+from repro.policies.twemcache import TwemcachePolicy
+
+
+def make_policy(name: str, **kwargs) -> AllocationPolicy:
+    """Instantiate a policy by its CLI/report name.
+
+    Recognised names: ``memcached``, ``psa``, ``facebook``, ``twemcache``,
+    ``automove``, ``lama``, ``pama``, ``pre-pama``.
+    """
+    # PAMA lives in repro.core; import here to avoid a package cycle.
+    from repro.core.pama import PamaPolicy
+    from repro.core.prepama import PrePamaPolicy
+    from repro.core.config import PamaConfig
+
+    registry = {
+        "memcached": StaticMemcachedPolicy,
+        "psa": PSAPolicy,
+        "facebook": FacebookPolicy,
+        "twemcache": TwemcachePolicy,
+        "automove": AutoMovePolicy,
+        "lama": LamaPolicy,
+        "gds": GreedyDualSizePolicy,
+    }
+    if name == "gds-alloc":
+        kwargs.setdefault("reallocate", True)
+        return GreedyDualSizePolicy(**kwargs)
+    if name in registry:
+        return registry[name](**kwargs)
+    if name in ("pama", "pre-pama", "prepama", "pama-adaptive"):
+        from repro.core.adaptive import AdaptivePamaPolicy
+
+        config = kwargs.pop("config", None)
+        adaptive_kwargs = {}
+        if name == "pama-adaptive":
+            for field in ("warmup_samples", "reservoir_size",
+                          "refresh_interval", "seed"):
+                if field in kwargs:
+                    adaptive_kwargs[field] = kwargs.pop(field)
+        if config is None and kwargs:
+            config = PamaConfig(**kwargs)
+        if name == "pama":
+            return PamaPolicy(config=config)
+        if name == "pama-adaptive":
+            return AdaptivePamaPolicy(config=config, **adaptive_kwargs)
+        return PrePamaPolicy(config=config)
+    if name in ("oracle", "oracle-cost"):
+        # clairvoyant baselines need the trace up front
+        if "trace" not in kwargs:
+            raise ValueError(f"policy {name!r} requires a trace= kwarg")
+        return OraclePolicy(kwargs["trace"],
+                            cost_aware=(name == "oracle-cost"))
+    raise ValueError(f"unknown policy {name!r}")
+
+
+POLICY_NAMES = ("memcached", "psa", "facebook", "twemcache", "automove",
+                "lama", "gds", "gds-alloc", "pama", "pre-pama",
+                "pama-adaptive")
+
+#: clairvoyant baselines (constructed with make_policy(name, trace=...))
+ORACLE_NAMES = ("oracle", "oracle-cost")
+
+__all__ = [
+    "AllocationPolicy",
+    "default_donor",
+    "StaticMemcachedPolicy",
+    "PSAPolicy",
+    "FacebookPolicy",
+    "TwemcachePolicy",
+    "AutoMovePolicy",
+    "LamaPolicy",
+    "GreedyDualSizePolicy",
+    "OraclePolicy",
+    "ReuseDistanceProfiler",
+    "DistanceHistogram",
+    "FenwickTree",
+    "make_policy",
+    "POLICY_NAMES",
+    "ORACLE_NAMES",
+]

@@ -1,0 +1,81 @@
+"""Memcached 1.4.11's conservative slab automover.
+
+Paper §II: "In every time window of ten minutes, the number of misses
+in each class are recorded. If a class continuously receives the
+largest number of misses for three times, and there exists a class that
+does not see any misses in the three time windows, a slab is migrated
+from the class without misses to the class with the most misses."
+
+Window length is expressed in cache accesses (the simulator's clock).
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import AllocationPolicy
+from repro.cache.queue import Queue
+
+
+class AutoMovePolicy(AllocationPolicy):
+    """The 1.4.11 automover: 3 consecutive windows of evidence per move."""
+
+    name = "automove"
+
+    def __init__(self, window_accesses: int = 100_000,
+                 required_streak: int = 3) -> None:
+        super().__init__()
+        if window_accesses <= 0:
+            raise ValueError("window_accesses must be positive")
+        if required_streak < 1:
+            raise ValueError("required_streak must be >= 1")
+        self.window_accesses = window_accesses
+        self.required_streak = required_streak
+        self._window_start = 0
+        self._misses: dict[tuple[int, int], int] = {}
+        # trailing per-window miss maps, newest last (length <= streak)
+        self._history: list[dict[tuple[int, int], int]] = []
+
+    def on_miss(self, key: object, class_idx: int, penalty: float) -> None:
+        if class_idx >= 0:
+            qid = (class_idx, 0)
+            self._misses[qid] = self._misses.get(qid, 0) + 1
+        self._maybe_close_window()
+
+    def on_hit(self, queue: Queue, item) -> None:
+        self._maybe_close_window()
+
+    def _maybe_close_window(self) -> None:
+        cache = self.cache
+        if cache.accesses - self._window_start < self.window_accesses:
+            return
+        self._window_start = cache.accesses
+        self._history.append(self._misses)
+        self._misses = {}
+        if len(self._history) > self.required_streak:
+            self._history.pop(0)
+        if len(self._history) == self.required_streak:
+            self._consider_move()
+
+    def _consider_move(self) -> None:
+        cache = self.cache
+        # The same class must top the miss count in every recorded window.
+        leaders = set()
+        for window in self._history:
+            if not window:
+                return
+            top = max(window.items(), key=lambda kv: kv[1])[0]
+            leaders.add(top)
+        if len(leaders) != 1:
+            return
+        receiver_qid = leaders.pop()
+        receiver = cache.queue_for(*receiver_qid)
+        # Donor: a queue with zero misses across all recorded windows.
+        for q in cache.iter_queues():
+            if q is receiver or not q.can_donate():
+                continue
+            if all(w.get(q.qid, 0) == 0 for w in self._history):
+                cache.migrate(q, receiver)
+                self._history.clear()
+                return
+
+    def resolve_pressure(self, queue: Queue, must_migrate: bool) -> Queue | None:
+        return None

@@ -1,0 +1,26 @@
+"""Original Memcached: no slab reallocation.
+
+Paper §II: "In the earlier versions of Memcached ... After the initial
+memory space is exhausted, the allocations to the classes will not
+change."  Classes take free slabs while any exist; afterwards every
+class evicts strictly within itself, and a class that never got a slab
+cannot store items at all (Memcached's SERVER_ERROR out-of-memory).
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import AllocationPolicy
+from repro.cache.queue import Queue
+
+
+class StaticMemcachedPolicy(AllocationPolicy):
+    """The no-reallocation baseline ("Original Memcached" in the figures)."""
+
+    name = "memcached"
+    allow_fallback_donor = False
+
+    def resolve_pressure(self, queue: Queue, must_migrate: bool) -> Queue | None:
+        # Never migrate: evict within the class, or fail if it owns
+        # nothing (the cache turns the None + must_migrate case into a
+        # failed SET because allow_fallback_donor is False).
+        return None

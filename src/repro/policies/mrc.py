@@ -1,0 +1,178 @@
+"""Reuse-distance profiling and miss-ratio curves (MRC substrate).
+
+Supports the LAMA-lite policy (:mod:`repro.policies.lama`): Hu et al.
+[9 in the paper] drive slab allocation from per-class miss-ratio
+curves.  This module provides the classic Mattson stack-distance
+machinery, made affordable with spatial key sampling and a Fenwick tree
+over access timestamps (O(log n) per sampled access).
+"""
+
+from __future__ import annotations
+
+from repro.bloom.hashing import splitmix64
+
+
+class FenwickTree:
+    """Binary indexed tree over ``size`` slots of 0/1 occupancy."""
+
+    __slots__ = ("size", "_tree")
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = size
+        self._tree = [0] * (size + 1)
+
+    def add(self, idx: int, delta: int) -> None:
+        """Add ``delta`` at position ``idx`` (0-based)."""
+        if not 0 <= idx < self.size:
+            raise IndexError(f"index {idx} out of range [0, {self.size})")
+        i = idx + 1
+        while i <= self.size:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, idx: int) -> int:
+        """Sum of positions [0, idx] (idx may be -1 → 0)."""
+        total = 0
+        i = min(idx, self.size - 1) + 1
+        while i > 0:
+            total += self._tree[i]
+            i -= i & (-i)
+        return total
+
+    def range_sum(self, lo: int, hi: int) -> int:
+        """Sum of positions [lo, hi]."""
+        if hi < lo:
+            return 0
+        return self.prefix_sum(hi) - self.prefix_sum(lo - 1)
+
+
+class ReuseDistanceProfiler:
+    """Sampled LRU stack-distance estimator.
+
+    Keys are spatially sampled (rate ``1/2^sample_shift``); a sampled
+    access's stack distance is the number of *distinct sampled keys*
+    touched since its previous access, scaled back up by the sampling
+    rate.  Cold (first-seen) accesses report ``None``.
+    """
+
+    __slots__ = ("sample_shift", "sample_mask", "capacity", "_time",
+                 "_last_pos", "_tree", "sampled_accesses", "rebuilds")
+
+    def __init__(self, sample_shift: int = 5, capacity: int = 1 << 18) -> None:
+        if sample_shift < 0:
+            raise ValueError("sample_shift must be >= 0")
+        if capacity <= 1:
+            raise ValueError("capacity must exceed 1")
+        self.sample_shift = sample_shift
+        self.sample_mask = (1 << sample_shift) - 1
+        self.capacity = capacity
+        self._time = 0
+        self._last_pos: dict[object, int] = {}
+        self._tree = FenwickTree(capacity)
+        self.sampled_accesses = 0
+        self.rebuilds = 0
+
+    @property
+    def scale(self) -> int:
+        """Multiplier from sampled distance to estimated true distance."""
+        return 1 << self.sample_shift
+
+    def sampled(self, key: object) -> bool:
+        if self.sample_mask == 0:
+            return True
+        if isinstance(key, int):
+            return splitmix64(key) & self.sample_mask == 0
+        return splitmix64(hash(key)) & self.sample_mask == 0
+
+    def record(self, key: object) -> int | None:
+        """Record an access; return estimated stack distance in items.
+
+        Returns None for unsampled keys and for cold (first) accesses.
+        """
+        if not self.sampled(key):
+            return None
+        self.sampled_accesses += 1
+        if self._time >= self.capacity:
+            self._compact()
+        pos = self._last_pos.get(key)
+        distance: int | None = None
+        if pos is not None:
+            # distinct sampled keys touched strictly after pos
+            distinct = self._tree.range_sum(pos + 1, self._time - 1)
+            distance = distinct * self.scale
+            self._tree.add(pos, -1)
+        self._last_pos[key] = self._time
+        self._tree.add(self._time, 1)
+        self._time += 1
+        return distance
+
+    def forget(self, key: object) -> None:
+        """Drop a key from the profile (e.g. it was deleted)."""
+        pos = self._last_pos.pop(key, None)
+        if pos is not None:
+            self._tree.add(pos, -1)
+
+    def _compact(self) -> None:
+        """Renumber live keys contiguously when timestamps run out.
+
+        Grows the tree when live keys fill most of it, so compaction
+        always leaves headroom for new timestamps.
+        """
+        live = sorted(self._last_pos.items(), key=lambda kv: kv[1])
+        while len(live) * 2 > self.capacity:
+            self.capacity *= 2
+        self._tree = FenwickTree(self.capacity)
+        self._last_pos = {}
+        for new_pos, (key, _old) in enumerate(live):
+            self._last_pos[key] = new_pos
+            self._tree.add(new_pos, 1)
+        self._time = len(live)
+        self.rebuilds += 1
+
+
+class DistanceHistogram:
+    """Log2-bucketed histogram of stack distances (in items)."""
+
+    __slots__ = ("buckets", "cold", "total")
+
+    NUM_BUCKETS = 48
+
+    def __init__(self) -> None:
+        self.buckets = [0] * self.NUM_BUCKETS
+        self.cold = 0
+        self.total = 0
+
+    def add(self, distance: int | None) -> None:
+        self.total += 1
+        if distance is None:
+            self.cold += 1
+            return
+        bucket = min(max(distance, 1).bit_length() - 1, self.NUM_BUCKETS - 1)
+        self.buckets[bucket] += 1
+
+    def hits_within(self, max_items: int) -> float:
+        """Estimated accesses with stack distance < ``max_items``.
+
+        Buckets straddling the threshold contribute proportionally
+        (distances are roughly uniform within a log bucket).
+        """
+        if max_items <= 0:
+            return 0.0
+        hits = 0.0
+        for b, count in enumerate(self.buckets):
+            if count == 0:
+                continue
+            lo, hi = 1 << b, (1 << (b + 1)) - 1
+            if hi < max_items:
+                hits += count
+            elif lo < max_items:
+                hits += count * (max_items - lo) / (hi - lo + 1)
+        return hits
+
+    def decay(self, factor: float) -> None:
+        """Age the histogram so old epochs fade out."""
+        self.buckets = [int(c * factor) for c in self.buckets]
+        self.cold = int(self.cold * factor)
+        self.total = int(self.total * factor)

@@ -1,0 +1,83 @@
+"""PSA — Periodic Slab Allocation (Carra & Michiardi, ICC 2014).
+
+Paper §II: "For every M misses ... PSA relocates a slab from the class
+with the lowest density, or number of requests per slab, to the one
+with the largest number of misses recorded in a time window."
+
+PSA is the reallocating baseline the paper evaluates against: it
+normalises requests by space (so it sees item size) but ignores both
+fine-grained locality (density counts *any* access, not just near-bottom
+ones) and miss penalty.
+"""
+
+from __future__ import annotations
+
+from repro.policies.base import AllocationPolicy
+from repro.cache.queue import Queue
+
+
+class PSAPolicy(AllocationPolicy):
+    """Periodic slab allocation, triggered every ``m_misses`` misses."""
+
+    name = "psa"
+
+    def __init__(self, m_misses: int = 1000) -> None:
+        super().__init__()
+        if m_misses <= 0:
+            raise ValueError(f"m_misses must be positive, got {m_misses}")
+        self.m_misses = m_misses
+        self._miss_count = 0
+        # per-queue window counters: qid -> [requests, misses]
+        self._window: dict[tuple[int, int], list[int]] = {}
+
+    # -- accounting ------------------------------------------------------
+    def _bump(self, qid: tuple[int, int], requests: int, misses: int) -> None:
+        counters = self._window.get(qid)
+        if counters is None:
+            counters = [0, 0]
+            self._window[qid] = counters
+        counters[0] += requests
+        counters[1] += misses
+
+    def on_hit(self, queue: Queue, item) -> None:
+        self._bump(queue.qid, 1, 0)
+
+    def on_insert(self, queue: Queue, item) -> None:
+        self._bump(queue.qid, 1, 0)
+
+    def on_miss(self, key: object, class_idx: int, penalty: float) -> None:
+        if class_idx >= 0:
+            self._bump((class_idx, 0), 1, 1)
+        self._miss_count += 1
+        if self._miss_count % self.m_misses == 0:
+            self._rebalance()
+
+    # -- the periodic move -------------------------------------------------
+    def _rebalance(self) -> None:
+        cache = self.cache
+        receiver_qid = None
+        most_misses = 0
+        for qid, (_req, misses) in self._window.items():
+            if misses > most_misses:
+                receiver_qid, most_misses = qid, misses
+        if receiver_qid is None:
+            self._window.clear()
+            return
+        receiver = cache.queue_for(*receiver_qid)
+
+        donor: Queue | None = None
+        lowest_density = float("inf")
+        for q in cache.iter_queues():
+            if q is receiver or not q.can_donate():
+                continue
+            requests = self._window.get(q.qid, (0, 0))[0]
+            density = requests / q.slabs
+            if density < lowest_density:
+                donor, lowest_density = q, density
+        if donor is not None:
+            cache.migrate(donor, receiver)
+        self._window.clear()
+
+    def resolve_pressure(self, queue: Queue, must_migrate: bool) -> Queue | None:
+        # In-class LRU eviction; rebalancing happens on the miss timer.
+        return None

@@ -1,0 +1,32 @@
+"""Twemcache's random slab reassignment (Twitter).
+
+Paper §II: "when a class has a miss but does not have free space,
+Twemcache chooses a random class and reassigns one of its slabs to the
+class with the miss", spreading misses uniformly over classes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.policies.base import AllocationPolicy
+from repro.cache.queue import Queue
+
+
+class TwemcachePolicy(AllocationPolicy):
+    """Random-donor reassignment on every pressure event."""
+
+    name = "twemcache"
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__()
+        self._rng = random.Random(seed)
+
+    def resolve_pressure(self, queue: Queue, must_migrate: bool) -> Queue | None:
+        donors = [q for q in self.cache.iter_queues() if q.can_donate()]
+        if not donors:
+            return None
+        choice = self._rng.choice(donors)
+        # Choosing itself degenerates to evicting a slab's worth from the
+        # requesting class, which is Twemcache's actual behaviour too.
+        return choice

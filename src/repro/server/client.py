@@ -1,0 +1,152 @@
+"""Small synchronous client for the memcached text protocol."""
+
+from __future__ import annotations
+
+import socket
+
+from repro.server import protocol as p
+
+
+class CacheClient:
+    """Blocking client speaking the server's protocol subset.
+
+    The ``penalty`` argument of :meth:`set` rides in the protocol's
+    flags field as microseconds (see :mod:`repro.server.protocol`).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 11211,
+                 timeout: float = 5.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        try:
+            self._sock.sendall(b"quit\r\n")
+        except OSError:
+            pass
+        self._rfile.close()
+        self._sock.close()
+
+    def __enter__(self) -> "CacheClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- operations ---------------------------------------------------------
+    def _storage(self, verb: str, key: str, data: bytes, penalty: float,
+                 exptime: int) -> bool:
+        flags = max(0, int(round(penalty * 1e6)))
+        line = f"{verb} {key} {flags} {exptime} {len(data)}\r\n".encode()
+        self._sock.sendall(line + data + b"\r\n")
+        resp = self._readline()
+        if resp == b"STORED":
+            return True
+        if resp == b"NOT_STORED":
+            return False
+        raise RuntimeError(f"unexpected {verb} response: {resp!r}")
+
+    def set(self, key: str, data: bytes, penalty: float = 0.1,
+            exptime: int = 0) -> bool:
+        return self._storage("set", key, data, penalty, exptime)
+
+    def add(self, key: str, data: bytes, penalty: float = 0.1,
+            exptime: int = 0) -> bool:
+        """Store only if the key is absent."""
+        return self._storage("add", key, data, penalty, exptime)
+
+    def replace(self, key: str, data: bytes, penalty: float = 0.1,
+                exptime: int = 0) -> bool:
+        """Store only if the key is present."""
+        return self._storage("replace", key, data, penalty, exptime)
+
+    def append(self, key: str, data: bytes) -> bool:
+        """Concatenate after an existing value."""
+        return self._storage("append", key, data, 0.0, 0)
+
+    def prepend(self, key: str, data: bytes) -> bool:
+        """Concatenate before an existing value."""
+        return self._storage("prepend", key, data, 0.0, 0)
+
+    def incr(self, key: str, delta: int = 1) -> int | None:
+        """Increment a numeric value; None if the key is absent."""
+        return self._incr_decr("incr", key, delta)
+
+    def decr(self, key: str, delta: int = 1) -> int | None:
+        """Decrement a numeric value (clamped at 0); None if absent."""
+        return self._incr_decr("decr", key, delta)
+
+    def _incr_decr(self, verb: str, key: str, delta: int) -> int | None:
+        self._sock.sendall(f"{verb} {key} {delta}\r\n".encode())
+        resp = self._readline()
+        if resp == b"NOT_FOUND":
+            return None
+        if resp.startswith(b"CLIENT_ERROR"):
+            raise RuntimeError(resp.decode())
+        return int(resp)
+
+    def touch(self, key: str, exptime: int) -> bool:
+        """Update a key's expiry without touching its value."""
+        self._sock.sendall(f"touch {key} {exptime}\r\n".encode())
+        resp = self._readline()
+        if resp == b"TOUCHED":
+            return True
+        if resp == b"NOT_FOUND":
+            return False
+        raise RuntimeError(f"unexpected touch response: {resp!r}")
+
+    def flush_all(self) -> None:
+        """Drop every item on the server."""
+        self._sock.sendall(b"flush_all\r\n")
+        resp = self._readline()
+        if resp != b"OK":
+            raise RuntimeError(f"unexpected flush_all response: {resp!r}")
+
+    def get(self, key: str) -> bytes | None:
+        self._sock.sendall(f"get {key}\r\n".encode())
+        value = None
+        while True:
+            line = self._readline()
+            if line == b"END":
+                return value
+            if line.startswith(b"VALUE "):
+                _tag, _key, _flags, nbytes = line.split()
+                value = self._rfile.read(int(nbytes))
+                self._rfile.read(2)  # CRLF
+            else:
+                raise RuntimeError(f"unexpected get response: {line!r}")
+
+    def delete(self, key: str) -> bool:
+        self._sock.sendall(f"delete {key}\r\n".encode())
+        resp = self._readline()
+        if resp == b"DELETED":
+            return True
+        if resp == b"NOT_FOUND":
+            return False
+        raise RuntimeError(f"unexpected delete response: {resp!r}")
+
+    def stats(self) -> dict[str, str]:
+        self._sock.sendall(b"stats\r\n")
+        out: dict[str, str] = {}
+        while True:
+            line = self._readline()
+            if line == b"END":
+                return out
+            if line.startswith(b"STAT "):
+                _tag, key, value = line.decode().split(None, 2)
+                out[key] = value
+            else:
+                raise RuntimeError(f"unexpected stats response: {line!r}")
+
+    def version(self) -> str:
+        self._sock.sendall(b"version\r\n")
+        line = self._readline()
+        if not line.startswith(b"VERSION "):
+            raise RuntimeError(f"unexpected version response: {line!r}")
+        return line.decode().split(None, 1)[1]
+
+    def _readline(self) -> bytes:
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return line.rstrip(b"\r\n")

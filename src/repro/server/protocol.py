@@ -1,0 +1,268 @@
+"""Memcached text-protocol subset: parsing and formatting.
+
+Implements the commands the paper's interface description needs (§I:
+"insertion (SET), retrieval (GET), and deletion (DEL)") plus the
+conventional ``stats``/``version``/``quit``.  One deliberate extension:
+the 32-bit ``flags`` field of ``set`` carries the item's miss penalty
+in **microseconds**, so penalty-aware policies work over the wire
+without protocol changes (flags are opaque to real memcached clients).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+CRLF = b"\r\n"
+MAX_KEY_LEN = 250  # memcached's limit
+
+
+class ProtocolError(ValueError):
+    """Malformed client input; rendered as CLIENT_ERROR."""
+
+
+#: storage command verbs sharing the ``set`` grammar.
+STORAGE_VERBS = ("set", "add", "replace", "append", "prepend")
+
+
+@dataclass(frozen=True)
+class SetCommand:
+    """Any storage command: ``verb key flags exptime bytes [noreply]``.
+
+    ``verb`` distinguishes memcached's conditional/concatenating
+    variants: ``add`` (store only if absent), ``replace`` (only if
+    present), ``append``/``prepend`` (concatenate onto an existing
+    value).
+    """
+
+    key: str
+    flags: int
+    exptime: int
+    nbytes: int
+    noreply: bool
+    verb: str = "set"
+
+    @property
+    def penalty(self) -> float:
+        """Penalty in seconds, decoded from the flags field (µs)."""
+        return self.flags / 1e6
+
+
+@dataclass(frozen=True)
+class GetCommand:
+    keys: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class DeleteCommand:
+    key: str
+    noreply: bool
+
+
+@dataclass(frozen=True)
+class IncrDecrCommand:
+    key: str
+    delta: int
+    decrement: bool
+    noreply: bool
+
+
+@dataclass(frozen=True)
+class TouchCommand:
+    key: str
+    exptime: int
+    noreply: bool
+
+
+@dataclass(frozen=True)
+class FlushAllCommand:
+    noreply: bool
+
+
+@dataclass(frozen=True)
+class StatsCommand:
+    pass
+
+
+@dataclass(frozen=True)
+class VersionCommand:
+    pass
+
+
+@dataclass(frozen=True)
+class QuitCommand:
+    pass
+
+
+Command = (SetCommand | GetCommand | DeleteCommand | IncrDecrCommand
+           | TouchCommand | FlushAllCommand | StatsCommand
+           | VersionCommand | QuitCommand)
+
+
+def _check_key(key: str) -> str:
+    if not key or len(key) > MAX_KEY_LEN:
+        raise ProtocolError(f"bad key length {len(key)}")
+    if any(c.isspace() for c in key):
+        raise ProtocolError("key contains whitespace")
+    return key
+
+
+def parse_command(line: bytes) -> Command:
+    """Parse one request line (without the trailing CRLF)."""
+    try:
+        text = line.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise ProtocolError("non-utf8 command line") from exc
+    parts = text.split()
+    if not parts:
+        raise ProtocolError("empty command")
+    cmd = parts[0].lower()
+
+    if cmd in STORAGE_VERBS:
+        if len(parts) not in (5, 6):
+            raise ProtocolError(
+                f"{cmd} expects: key flags exptime bytes [noreply]")
+        noreply = len(parts) == 6
+        if noreply and parts[5] != "noreply":
+            raise ProtocolError(f"unexpected token {parts[5]!r}")
+        try:
+            flags, exptime, nbytes = int(parts[2]), int(parts[3]), int(parts[4])
+        except ValueError as exc:
+            raise ProtocolError(
+                f"{cmd} numeric fields must be integers") from exc
+        if nbytes < 0 or flags < 0:
+            raise ProtocolError("negative bytes/flags")
+        return SetCommand(_check_key(parts[1]), flags, exptime, nbytes,
+                          noreply, verb=cmd)
+
+    if cmd in ("incr", "decr"):
+        if len(parts) not in (3, 4):
+            raise ProtocolError(f"{cmd} expects: key value [noreply]")
+        noreply = len(parts) == 4
+        if noreply and parts[3] != "noreply":
+            raise ProtocolError(f"unexpected token {parts[3]!r}")
+        try:
+            delta = int(parts[2])
+        except ValueError as exc:
+            raise ProtocolError(f"{cmd} delta must be an integer") from exc
+        if delta < 0:
+            raise ProtocolError("delta must be non-negative")
+        return IncrDecrCommand(_check_key(parts[1]), delta, cmd == "decr",
+                               noreply)
+
+    if cmd == "touch":
+        if len(parts) not in (3, 4):
+            raise ProtocolError("touch expects: key exptime [noreply]")
+        noreply = len(parts) == 4
+        if noreply and parts[3] != "noreply":
+            raise ProtocolError(f"unexpected token {parts[3]!r}")
+        try:
+            exptime = int(parts[2])
+        except ValueError as exc:
+            raise ProtocolError("touch exptime must be an integer") from exc
+        return TouchCommand(_check_key(parts[1]), exptime, noreply)
+
+    if cmd == "flush_all":
+        if len(parts) not in (1, 2):
+            raise ProtocolError("flush_all takes no arguments [noreply]")
+        noreply = len(parts) == 2
+        if noreply and parts[1] != "noreply":
+            raise ProtocolError(f"unexpected token {parts[1]!r}")
+        return FlushAllCommand(noreply)
+
+    if cmd in ("get", "gets"):
+        if len(parts) < 2:
+            raise ProtocolError("get expects at least one key")
+        return GetCommand(tuple(_check_key(k) for k in parts[1:]))
+
+    if cmd == "delete":
+        if len(parts) not in (2, 3):
+            raise ProtocolError("delete expects: key [noreply]")
+        noreply = len(parts) == 3
+        if noreply and parts[2] != "noreply":
+            raise ProtocolError(f"unexpected token {parts[2]!r}")
+        return DeleteCommand(_check_key(parts[1]), noreply)
+
+    if cmd == "stats":
+        return StatsCommand()
+    if cmd == "version":
+        return VersionCommand()
+    if cmd == "quit":
+        return QuitCommand()
+    raise ProtocolError(f"unknown command {cmd!r}")
+
+
+# -- response formatting -----------------------------------------------------
+
+def format_value(key: str, flags: int, data: bytes) -> bytes:
+    """One VALUE block of a get response."""
+    return (f"VALUE {key} {flags} {len(data)}".encode() + CRLF
+            + data + CRLF)
+
+
+def format_get_tail() -> bytes:
+    return b"END" + CRLF
+
+
+def format_stored() -> bytes:
+    return b"STORED" + CRLF
+
+
+def format_not_stored() -> bytes:
+    return b"NOT_STORED" + CRLF
+
+
+def format_deleted(found: bool) -> bytes:
+    return (b"DELETED" if found else b"NOT_FOUND") + CRLF
+
+
+def format_not_found() -> bytes:
+    return b"NOT_FOUND" + CRLF
+
+
+def format_touched(found: bool) -> bytes:
+    return (b"TOUCHED" if found else b"NOT_FOUND") + CRLF
+
+
+def format_number(value: int) -> bytes:
+    return str(value).encode() + CRLF
+
+
+def format_ok() -> bytes:
+    return b"OK" + CRLF
+
+
+#: memcached treats exptime values above this as absolute unix times.
+RELATIVE_EXPTIME_LIMIT = 60 * 60 * 24 * 30
+
+
+def resolve_exptime(exptime: int, now: float) -> float:
+    """Memcached exptime semantics → absolute expiry (0.0 = never).
+
+    0 means never; values up to 30 days are relative to ``now``; larger
+    values are absolute unix timestamps; negative means already expired.
+    """
+    if exptime == 0:
+        return 0.0
+    if exptime < 0:
+        return now - 1.0  # immediately expired
+    if exptime <= RELATIVE_EXPTIME_LIMIT:
+        return now + exptime
+    return float(exptime)
+
+
+def format_error(message: str) -> bytes:
+    return f"CLIENT_ERROR {message}".encode() + CRLF
+
+
+def format_server_error(message: str) -> bytes:
+    return f"SERVER_ERROR {message}".encode() + CRLF
+
+
+def format_stats(stats: dict[str, object]) -> bytes:
+    body = b"".join(f"STAT {k} {v}".encode() + CRLF
+                    for k, v in sorted(stats.items()))
+    return body + b"END" + CRLF
+
+
+def format_version(version: str) -> bytes:
+    return f"VERSION {version}".encode() + CRLF

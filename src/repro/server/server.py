@@ -1,0 +1,186 @@
+"""A minimal memcached-protocol server over the slab cache.
+
+Demonstrates the substrate is a functioning cache, not just an
+accounting model: any memcached text client can set/get/delete against
+it, with the allocation policy (PAMA by default) managing slabs.
+
+The server is single-purpose and synchronous-per-connection (threaded);
+it is an example vehicle, not a production network stack.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+
+from repro import __version__
+from repro.cache.cache import SlabCache
+from repro.server import protocol as p
+
+
+class CacheRequestHandler(socketserver.StreamRequestHandler):
+    """Handles one client connection (line protocol + data blocks)."""
+
+    server: "CacheServer"
+
+    def handle(self) -> None:
+        while True:
+            line = self.rfile.readline()
+            if not line:
+                return
+            line = line.rstrip(b"\r\n")
+            if not line:
+                continue
+            try:
+                cmd = p.parse_command(line)
+            except p.ProtocolError as exc:
+                self.wfile.write(p.format_error(str(exc)))
+                continue
+            if isinstance(cmd, p.QuitCommand):
+                return
+            try:
+                if not self._dispatch(cmd):
+                    return
+            except BrokenPipeError:  # pragma: no cover - client went away
+                return
+
+    def _dispatch(self, cmd: p.Command) -> bool:
+        cache = self.server.cache
+        lock = self.server.lock
+        if isinstance(cmd, p.SetCommand):
+            data = self.rfile.read(cmd.nbytes)
+            trailer = self.rfile.read(2)
+            if len(data) != cmd.nbytes or trailer != p.CRLF:
+                self.wfile.write(p.format_error("bad data chunk"))
+                return True
+            with lock:
+                ok = self._store(cache, cmd, data)
+            if not cmd.noreply:
+                self.wfile.write(p.format_stored() if ok
+                                 else p.format_not_stored())
+            return True
+        if isinstance(cmd, p.IncrDecrCommand):
+            with lock:
+                result = self._incr_decr(cache, cmd)
+            if not cmd.noreply:
+                if result is None:
+                    self.wfile.write(p.format_not_found())
+                elif isinstance(result, bytes):
+                    self.wfile.write(p.format_error(result.decode()))
+                else:
+                    self.wfile.write(p.format_number(result))
+            return True
+        if isinstance(cmd, p.TouchCommand):
+            with lock:
+                found = cache.touch(
+                    cmd.key, p.resolve_exptime(cmd.exptime, cache.clock()))
+            if not cmd.noreply:
+                self.wfile.write(p.format_touched(found))
+            return True
+        if isinstance(cmd, p.FlushAllCommand):
+            with lock:
+                cache.flush_all()
+            if not cmd.noreply:
+                self.wfile.write(p.format_ok())
+            return True
+        if isinstance(cmd, p.GetCommand):
+            out = bytearray()
+            with lock:
+                for key in cmd.keys:
+                    item = cache.get(key)
+                    if item is not None and item.value is not None:
+                        flags, data = item.value
+                        out += p.format_value(key, flags, data)
+            out += p.format_get_tail()
+            self.wfile.write(bytes(out))
+            return True
+        if isinstance(cmd, p.DeleteCommand):
+            with lock:
+                found = cache.delete(cmd.key)
+            if not cmd.noreply:
+                self.wfile.write(p.format_deleted(found))
+            return True
+        if isinstance(cmd, p.StatsCommand):
+            with lock:
+                stats = cache.stats.snapshot()
+                stats["policy"] = cache.policy.name
+                stats["items"] = len(cache)
+                stats["slabs_total"] = cache.pool.total
+                stats["slabs_free"] = cache.pool.free
+            self.wfile.write(p.format_stats(stats))
+            return True
+        if isinstance(cmd, p.VersionCommand):
+            self.wfile.write(p.format_version(f"repro-pama/{__version__}"))
+            return True
+        raise AssertionError(f"unhandled command {cmd!r}")  # pragma: no cover
+
+    @staticmethod
+    def _store(cache, cmd: p.SetCommand, data: bytes) -> bool:
+        """Apply a storage verb (set/add/replace/append/prepend)."""
+        expires = p.resolve_exptime(cmd.exptime, cache.clock())
+        existing = cache.get(cmd.key)  # honours expiry
+        if cmd.verb == "add" and existing is not None:
+            return False
+        if cmd.verb == "replace" and existing is None:
+            return False
+        if cmd.verb in ("append", "prepend"):
+            if existing is None or existing.value is None:
+                return False
+            old_flags, old_data = existing.value
+            data = (old_data + data if cmd.verb == "append"
+                    else data + old_data)
+            # concatenation keeps the original flags/penalty/expiry
+            return cache.set(cmd.key, len(cmd.key), len(data),
+                             existing.penalty, value=(old_flags, data),
+                             expires_at=existing.expires_at)
+        return cache.set(cmd.key, len(cmd.key), cmd.nbytes, cmd.penalty,
+                         value=(cmd.flags, data), expires_at=expires)
+
+    @staticmethod
+    def _incr_decr(cache, cmd: p.IncrDecrCommand):
+        """Returns the new value, None if absent, or bytes for an error."""
+        item = cache.get(cmd.key)
+        if item is None or item.value is None:
+            return None
+        flags, data = item.value
+        try:
+            current = int(data)
+            if current < 0:
+                raise ValueError
+        except ValueError:
+            return b"cannot increment or decrement non-numeric value"
+        if cmd.decrement:
+            new = max(0, current - cmd.delta)  # memcached clamps at 0
+        else:
+            new = (current + cmd.delta) % (1 << 64)  # 64-bit wraparound
+        payload = str(new).encode()
+        cache.set(cmd.key, len(cmd.key), len(payload), item.penalty,
+                  value=(flags, payload), expires_at=item.expires_at)
+        return new
+
+
+class CacheServer(socketserver.ThreadingTCPServer):
+    """TCP server wrapping one SlabCache (coarse-grained lock)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], cache: SlabCache) -> None:
+        super().__init__(address, CacheRequestHandler)
+        self.cache = cache
+        self.lock = threading.Lock()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def start_server(cache: SlabCache, host: str = "127.0.0.1",
+                 port: int = 0) -> CacheServer:
+    """Start a server on a background thread; returns it (bound port in
+    ``server.port``).  Call ``server.shutdown()`` to stop."""
+    server = CacheServer((host, port), cache)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server

@@ -1,0 +1,102 @@
+"""Experiment orchestration: policy comparisons and parameter sweeps.
+
+Every evaluation figure is "run the same trace through several
+(policy, cache size) combinations and compare a windowed series"; this
+module owns that loop so benches and examples stay declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro._util import fmt_bytes
+from repro.cache.cache import SlabCache
+from repro.cache.sizeclasses import SizeClassConfig
+from repro.policies import make_policy
+from repro.sim.simulator import SimulationResult, simulate
+from repro.traces.record import Trace
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A reproducible experiment definition.
+
+    ``policy_kwargs`` maps policy name → constructor kwargs, so a spec
+    can e.g. scale PSA's miss trigger or PAMA's window to the trace.
+    """
+
+    name: str
+    cache_bytes: int
+    slab_size: int = 64 * 1024
+    base_size: int = 64
+    growth: float = 2.0
+    hit_time: float = 1e-4
+    window_gets: int = 100_000
+    fill_on_miss: bool = True
+    policy_kwargs: dict = field(default_factory=dict)
+
+    def build_cache(self, policy_name: str) -> SlabCache:
+        """Construct a fresh cache + policy for one run."""
+        classes = SizeClassConfig(slab_size=self.slab_size,
+                                  base_size=self.base_size,
+                                  growth=self.growth)
+        kwargs = dict(self.policy_kwargs.get(policy_name, {}))
+        policy = make_policy(policy_name, **kwargs)
+        return SlabCache(self.cache_bytes, policy, classes)
+
+    def describe(self) -> str:
+        return (f"{self.name}: cache={fmt_bytes(self.cache_bytes)} "
+                f"slab={fmt_bytes(self.slab_size)} window={self.window_gets}")
+
+
+@dataclass
+class ComparisonResult:
+    """Results of one trace replayed under several policies."""
+
+    spec: ExperimentSpec
+    results: dict[str, SimulationResult]
+
+    def ranking_by_service_time(self) -> list[tuple[str, float]]:
+        """Policies sorted best (lowest service time) first."""
+        return sorted(((n, r.avg_service_time) for n, r in self.results.items()),
+                      key=lambda nr: nr[1])
+
+    def ranking_by_hit_ratio(self) -> list[tuple[str, float]]:
+        """Policies sorted best (highest hit ratio) first."""
+        return sorted(((n, r.hit_ratio) for n, r in self.results.items()),
+                      key=lambda nr: -nr[1])
+
+
+def run_comparison(trace: Trace, spec: ExperimentSpec,
+                   policies: list[str], verbose: bool = False,
+                   progress=None) -> ComparisonResult:
+    """Replay ``trace`` once per policy under identical settings."""
+    results: dict[str, SimulationResult] = {}
+    for name in policies:
+        cache = spec.build_cache(name)
+        result = simulate(trace, cache, hit_time=spec.hit_time,
+                          window_gets=spec.window_gets,
+                          fill_on_miss=spec.fill_on_miss)
+        results[name] = result
+        if progress is not None:
+            progress(name, result)
+        if verbose:
+            print(f"  {name:>10s}: hit_ratio={result.hit_ratio:.3f} "
+                  f"avg_service={result.avg_service_time * 1e3:.2f}ms "
+                  f"({result.elapsed_seconds:.1f}s wall)")
+    return ComparisonResult(spec, results)
+
+
+def sweep_cache_sizes(trace: Trace, base_spec: ExperimentSpec,
+                      policies: list[str], cache_sizes: list[int],
+                      verbose: bool = False) -> dict[int, ComparisonResult]:
+    """Run the comparison at several cache sizes (Figs 5-8 structure)."""
+    from dataclasses import replace
+    out: dict[int, ComparisonResult] = {}
+    for size in cache_sizes:
+        spec = replace(base_spec, cache_bytes=size,
+                       name=f"{base_spec.name}@{fmt_bytes(size)}")
+        if verbose:
+            print(spec.describe())
+        out[size] = run_comparison(trace, spec, policies, verbose=verbose)
+    return out

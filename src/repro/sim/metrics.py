@@ -1,0 +1,111 @@
+"""Windowed metrics: the per-window series every evaluation figure plots.
+
+The paper reports hit ratio and average service time "in each time
+window (1 million GET requests)" plus per-class slab allocations over
+time.  :class:`MetricsCollector` closes a window every ``window_gets``
+GETs and snapshots whatever the caller registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class WindowStats:
+    """One closed metrics window."""
+
+    index: int
+    gets: int
+    hits: int
+    penalty_sum: float
+    service_sum: float
+    #: slab count per size class at window close.
+    class_slabs: dict[int, int] = field(default_factory=dict)
+    #: slab count per (class, bin) queue at window close.
+    queue_slabs: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    @property
+    def misses(self) -> int:
+        return self.gets - self.hits
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0
+
+    @property
+    def avg_service_time(self) -> float:
+        return self.service_sum / self.gets if self.gets else 0.0
+
+
+class MetricsCollector:
+    """Accumulates GET outcomes and closes windows on a GET counter."""
+
+    def __init__(self, window_gets: int = 100_000,
+                 snapshot_fn=None) -> None:
+        if window_gets <= 0:
+            raise ValueError("window_gets must be positive")
+        self.window_gets = window_gets
+        self.snapshot_fn = snapshot_fn
+        self.windows: list[WindowStats] = []
+        self._gets = 0
+        self._hits = 0
+        self._penalty = 0.0
+        self._service = 0.0
+        # totals across the whole run
+        self.total_gets = 0
+        self.total_hits = 0
+        self.total_penalty = 0.0
+        self.total_service = 0.0
+
+    def record_hit(self, service_time: float) -> None:
+        self._gets += 1
+        self._hits += 1
+        self._service += service_time
+        self.total_gets += 1
+        self.total_hits += 1
+        self.total_service += service_time
+        if self._gets >= self.window_gets:
+            self._close_window()
+
+    def record_miss(self, penalty: float) -> None:
+        self._gets += 1
+        self._penalty += penalty
+        self._service += penalty
+        self.total_gets += 1
+        self.total_penalty += penalty
+        self.total_service += penalty
+        if self._gets >= self.window_gets:
+            self._close_window()
+
+    def _close_window(self) -> None:
+        stats = WindowStats(index=len(self.windows), gets=self._gets,
+                            hits=self._hits, penalty_sum=self._penalty,
+                            service_sum=self._service)
+        if self.snapshot_fn is not None:
+            class_slabs, queue_slabs = self.snapshot_fn()
+            stats.class_slabs = class_slabs
+            stats.queue_slabs = queue_slabs
+        self.windows.append(stats)
+        self._gets = self._hits = 0
+        self._penalty = self._service = 0.0
+
+    def flush(self) -> None:
+        """Close a final partial window, if it has any GETs."""
+        if self._gets:
+            self._close_window()
+
+    # -- aggregate views ---------------------------------------------------
+    @property
+    def overall_hit_ratio(self) -> float:
+        return self.total_hits / self.total_gets if self.total_gets else 0.0
+
+    @property
+    def overall_avg_service_time(self) -> float:
+        return self.total_service / self.total_gets if self.total_gets else 0.0
+
+    def hit_ratio_series(self) -> list[float]:
+        return [w.hit_ratio for w in self.windows]
+
+    def service_time_series(self) -> list[float]:
+        return [w.avg_service_time for w in self.windows]

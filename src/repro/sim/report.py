@@ -1,0 +1,116 @@
+"""Report rendering: tables, CSV series, and ASCII charts.
+
+The environment has no plotting stack, so every figure is emitted as
+(a) the raw CSV series the paper's plot would be drawn from and (b) an
+ASCII chart for eyeballing trends in a terminal or log.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Plain-text table with right-aligned numeric columns."""
+    rendered = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 1e-3 or abs(value) >= 1e5):
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def series_csv(series: Mapping[str, Sequence[float]],
+               index_name: str = "window") -> str:
+    """Render named series as CSV with a shared integer index."""
+    if not series:
+        return index_name + "\n"
+    names = list(series)
+    length = max(len(s) for s in series.values())
+    buf = io.StringIO()
+    buf.write(",".join([index_name] + names) + "\n")
+    for i in range(length):
+        cells = [str(i)]
+        for name in names:
+            s = series[name]
+            cells.append(f"{s[i]:.6g}" if i < len(s) else "")
+        buf.write(",".join(cells) + "\n")
+    return buf.getvalue()
+
+
+def ascii_chart(series: Mapping[str, Sequence[float]], width: int = 72,
+                height: int = 16, title: str = "",
+                y_label: str = "") -> str:
+    """Multi-series ASCII line chart (one letter per series)."""
+    if not series:
+        return "(no data)"
+    marks = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    all_vals = [v for s in series.values() for v in s if v == v]
+    if not all_vals:
+        return "(no data)"
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    max_len = max(len(s) for s in series.values())
+
+    for si, (name, s) in enumerate(series.items()):
+        mark = marks[si % len(marks)]
+        for x in range(width):
+            # map column to series position
+            idx = int(x * (max_len - 1) / max(width - 1, 1)) if max_len > 1 else 0
+            if idx >= len(s):
+                continue
+            v = s[idx]
+            if v != v:
+                continue
+            y = int((v - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - y][x] = mark
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        label = ""
+        if r == 0:
+            label = f"{hi:.3g}"
+        elif r == height - 1:
+            label = f"{lo:.3g}"
+        lines.append(f"{label:>10} |" + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    legend = "   ".join(f"{marks[i % len(marks)]}={name}"
+                        for i, name in enumerate(series))
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.append(" " * 12 + f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def comparison_summary(results: Mapping[str, object]) -> str:
+    """Summary table for a dict of policy → SimulationResult."""
+    rows = []
+    for name, res in results.items():
+        rows.append([name, f"{res.hit_ratio:.4f}",
+                     f"{res.avg_service_time * 1e3:.3f}",
+                     res.cache_stats.get("evictions", 0),
+                     res.cache_stats.get("migrations", 0)])
+    return format_table(
+        ["policy", "hit_ratio", "avg_service_ms", "evictions", "migrations"],
+        rows)

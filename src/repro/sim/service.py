@@ -1,0 +1,35 @@
+"""Service-time model for GET requests.
+
+The paper's metric: a hit costs (approximately) the in-memory lookup; a
+miss costs the item's penalty — retrieving or recomputing the value
+from the back end.  We optionally add a size-proportional transfer term
+to hits, which matters only for throughput-style studies; the default
+matches the paper (constant hit time, penalty-dominated misses).
+"""
+
+from __future__ import annotations
+
+
+class ServiceTimeModel:
+    """Maps hits and misses to seconds of user-visible service time."""
+
+    __slots__ = ("hit_time", "bandwidth")
+
+    def __init__(self, hit_time: float = 1e-4,
+                 bandwidth: float | None = None) -> None:
+        if hit_time < 0:
+            raise ValueError("hit_time must be >= 0")
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError("bandwidth must be positive when given")
+        self.hit_time = hit_time
+        self.bandwidth = bandwidth
+
+    def hit(self, size: int = 0) -> float:
+        """Service time of a GET hit on an item of ``size`` bytes."""
+        if self.bandwidth is not None:
+            return self.hit_time + size / self.bandwidth
+        return self.hit_time
+
+    def miss(self, penalty: float) -> float:
+        """Service time of a GET miss with the given penalty."""
+        return penalty

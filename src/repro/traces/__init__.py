@@ -1,0 +1,24 @@
+"""Trace substrate: synthetic Facebook-like workloads, penalties, I/O."""
+
+from repro.traces.burst import inject_burst
+from repro.traces.io import (from_requests, iter_csv, load_csv, load_npz,
+                             save_csv, save_npz)
+from repro.traces.penalty import PenaltyModel, infer_penalties
+from repro.traces.record import Op, Request, Trace
+from repro.traces.stats import TraceStats, analyze, penalty_by_size_decade
+from repro.traces.synthetic import SyntheticTraceGenerator, generate, zipf_cdf
+from repro.traces.twitter import load_twitter
+from repro.traces.workloads import (APP, ETC, PROFILES, SYS, USR, VAR,
+                                    SizeMixture, WorkloadProfile, get_profile)
+
+__all__ = [
+    "Op", "Request", "Trace",
+    "WorkloadProfile", "SizeMixture", "get_profile", "PROFILES",
+    "ETC", "APP", "USR", "SYS", "VAR",
+    "SyntheticTraceGenerator", "generate", "zipf_cdf",
+    "PenaltyModel", "infer_penalties",
+    "inject_burst",
+    "analyze", "TraceStats", "penalty_by_size_decade",
+    "save_npz", "load_npz", "save_csv", "load_csv", "iter_csv",
+    "from_requests", "load_twitter",
+]

@@ -1,0 +1,96 @@
+"""Cold-item burst injection (paper §IV-C).
+
+"at the time of about 0.35 million GET requests we use the SET command
+to quickly inject cold KV items whose total size is about 10% of the
+cache size ... we limit the cold requests' sizes in a relatively small
+range covering only three classes."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.traces.record import Op, Trace
+
+
+#: id range for injected burst keys — disjoint from warm and cold-GET keys.
+BURST_KEY_BASE = 1 << 44
+
+
+def inject_burst(trace: Trace, at_get: int, total_bytes: int,
+                 size_lo: int, size_hi: int, key_size: int = 24,
+                 penalty: float = 0.05, seed: int = 0,
+                 with_gets: bool = True) -> Trace:
+    """Insert a burst of cold items once the trace has served ``at_get`` GETs.
+
+    The paper's scenario is "a bursty stream of requests *accessing and
+    adding* new KV items": each burst item arrives as a GET (a miss —
+    the key has never been seen) followed by the SET that installs it.
+    ``with_gets=False`` injects the SETs alone (a pure bulk load).
+
+    Args:
+        trace: the base workload.
+        at_get: GET count at which the burst begins (the paper's 0.35M).
+        total_bytes: aggregate size of injected items (~10% of the cache).
+        size_lo / size_hi: item value-size range; pick it to span about
+            three size classes, per the paper.
+        key_size: key bytes for burst items.
+        penalty: miss penalty of burst items (cold bulk loads are cheap
+            to recompute, so the default is modest).
+        seed: RNG seed for the burst's size draws.
+        with_gets: precede each SET with a (missing) GET of the same key.
+
+    Returns a new trace with the burst spliced in; burst requests carry
+    ``meta["burst_span"] = (start_index, end_index)``.
+    """
+    if at_get < 0 or total_bytes <= 0:
+        raise ValueError("at_get must be >= 0 and total_bytes positive")
+    if not 0 < size_lo <= size_hi:
+        raise ValueError("need 0 < size_lo <= size_hi")
+
+    # locate the splice point: the index right after the at_get-th GET
+    get_positions = np.flatnonzero(trace.ops == Op.GET)
+    if at_get >= len(get_positions):
+        raise ValueError(
+            f"trace has only {len(get_positions)} GETs, burst at {at_get}")
+    splice = int(get_positions[at_get]) + 1
+
+    rng = np.random.default_rng(seed)
+    sizes: list[int] = []
+    acc = 0
+    while acc < total_bytes:
+        size = int(rng.integers(size_lo, size_hi + 1))
+        sizes.append(size)
+        acc += size + key_size
+    n_burst = len(sizes)
+
+    burst_keys = BURST_KEY_BASE + np.arange(n_burst, dtype=np.int64)
+    ts = trace.timestamps[splice - 1] if splice > 0 else 0.0
+    if with_gets:
+        # interleave GET (miss) / SET per item
+        ops = np.tile(np.array([Op.GET, Op.SET], dtype=np.uint8), n_burst)
+        keys = np.repeat(burst_keys, 2)
+        sizes_arr = np.repeat(np.asarray(sizes, dtype=np.int32), 2)
+        n_rows = 2 * n_burst
+    else:
+        ops = np.full(n_burst, Op.SET, dtype=np.uint8)
+        keys = burst_keys
+        sizes_arr = np.asarray(sizes, dtype=np.int32)
+        n_rows = n_burst
+    burst = Trace(
+        ops,
+        keys,
+        np.full(n_rows, key_size, dtype=np.int32),
+        sizes_arr,
+        np.full(n_rows, penalty, dtype=np.float64),
+        np.full(n_rows, ts, dtype=np.float64),
+        meta={"burst": True},
+    )
+
+    head = trace.slice(0, splice)
+    tail = trace.slice(splice)
+    out = head.concat(burst).concat(tail)
+    out.meta = dict(trace.meta)
+    out.meta["burst_span"] = (splice, splice + n_rows)
+    out.meta["burst_bytes"] = acc
+    return out

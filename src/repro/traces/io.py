@@ -1,0 +1,102 @@
+"""Trace persistence: binary (NPZ) and CSV formats.
+
+Binary is the working format (compact, fast, lossless).  CSV exists for
+interchange with external trace tooling and for eyeballing; it streams
+in bounded memory in both directions.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import os
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.traces.record import Op, Request, Trace
+
+CSV_HEADER = ["op", "key", "key_size", "value_size", "penalty", "timestamp"]
+_OP_NAMES = {Op.GET: "GET", Op.SET: "SET", Op.DELETE: "DELETE"}
+_OP_VALUES = {name: op for op, name in _OP_NAMES.items()}
+
+
+# -- binary ------------------------------------------------------------------
+
+def save_npz(trace: Trace, path: str | os.PathLike) -> None:
+    """Write a trace as a compressed ``.npz`` archive."""
+    meta_items = sorted((str(k), repr(v)) for k, v in trace.meta.items())
+    np.savez_compressed(
+        path, ops=trace.ops, keys=trace.keys, key_sizes=trace.key_sizes,
+        value_sizes=trace.value_sizes, penalties=trace.penalties,
+        timestamps=trace.timestamps,
+        meta=np.array(meta_items, dtype=object) if meta_items
+        else np.empty((0, 2), dtype=object))
+
+
+def load_npz(path: str | os.PathLike) -> Trace:
+    """Read a trace written by :func:`save_npz`."""
+    import ast
+
+    with np.load(path, allow_pickle=True) as data:
+        meta = {}
+        for key, value in data["meta"]:
+            try:
+                meta[key] = ast.literal_eval(value)
+            except (ValueError, SyntaxError):
+                meta[key] = value
+        return Trace(data["ops"], data["keys"], data["key_sizes"],
+                     data["value_sizes"], data["penalties"],
+                     data["timestamps"], meta)
+
+
+# -- CSV --------------------------------------------------------------------
+
+def save_csv(trace: Trace, path: str | os.PathLike) -> None:
+    """Write a trace as CSV with a header row."""
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(CSV_HEADER)
+        for i in range(len(trace)):
+            req = trace[i]
+            writer.writerow([_OP_NAMES[req.op], req.key, req.key_size,
+                             req.value_size, f"{req.penalty:.6g}",
+                             f"{req.timestamp:.6f}"])
+
+
+def iter_csv(path: str | os.PathLike) -> Iterator[Request]:
+    """Stream requests from a CSV trace in bounded memory."""
+    with open(path, newline="") as fh:
+        reader = csv.reader(fh)
+        header = next(reader, None)
+        if header != CSV_HEADER:
+            raise ValueError(
+                f"unexpected CSV header {header!r}; expected {CSV_HEADER}")
+        for lineno, row in enumerate(reader, start=2):
+            if len(row) != len(CSV_HEADER):
+                raise ValueError(f"line {lineno}: expected "
+                                 f"{len(CSV_HEADER)} fields, got {len(row)}")
+            try:
+                yield Request(_OP_VALUES[row[0]], int(row[1]), int(row[2]),
+                              int(row[3]), float(row[4]), float(row[5]))
+            except (KeyError, ValueError) as exc:
+                raise ValueError(f"line {lineno}: malformed row {row!r}") from exc
+
+
+def load_csv(path: str | os.PathLike) -> Trace:
+    """Read a full CSV trace into a columnar :class:`Trace`."""
+    return from_requests(iter_csv(path))
+
+
+def from_requests(requests: Iterable[Request],
+                  meta: dict | None = None) -> Trace:
+    """Build a columnar trace from an iterable of Request objects."""
+    rows = list(requests)
+    n = len(rows)
+    ops = np.fromiter((r.op for r in rows), dtype=np.uint8, count=n)
+    keys = np.fromiter((r.key for r in rows), dtype=np.int64, count=n)
+    ksz = np.fromiter((r.key_size for r in rows), dtype=np.int32, count=n)
+    vsz = np.fromiter((r.value_size for r in rows), dtype=np.int32, count=n)
+    pen = np.fromiter((r.penalty for r in rows), dtype=np.float64, count=n)
+    ts = np.fromiter((r.timestamp for r in rows), dtype=np.float64, count=n)
+    return Trace(ops, keys, ksz, vsz, pen, ts, meta)

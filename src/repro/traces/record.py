@@ -1,0 +1,133 @@
+"""Trace containers: single requests and columnar request streams."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator
+
+import numpy as np
+
+
+class Op(IntEnum):
+    """Request types (the paper's GET / SET / DEL primitives)."""
+
+    GET = 0
+    SET = 1
+    DELETE = 2
+
+
+@dataclass(frozen=True)
+class Request:
+    """One trace record.
+
+    ``penalty`` is the key's miss penalty in seconds (what a GET miss on
+    it costs); ``timestamp`` is seconds since trace start (0.0 when the
+    trace carries no timing).
+    """
+
+    op: Op
+    key: int
+    key_size: int
+    value_size: int
+    penalty: float
+    timestamp: float = 0.0
+
+
+class Trace:
+    """Columnar request stream (NumPy-backed, memory-flat).
+
+    Columns: ``ops`` (uint8), ``keys`` (int64), ``key_sizes`` (int32),
+    ``value_sizes`` (int32), ``penalties`` (float64), ``timestamps``
+    (float64).  ``meta`` carries provenance (workload name, seed, ...).
+    """
+
+    __slots__ = ("ops", "keys", "key_sizes", "value_sizes", "penalties",
+                 "timestamps", "meta")
+
+    def __init__(self, ops: np.ndarray, keys: np.ndarray,
+                 key_sizes: np.ndarray, value_sizes: np.ndarray,
+                 penalties: np.ndarray, timestamps: np.ndarray | None = None,
+                 meta: dict | None = None) -> None:
+        n = len(ops)
+        arrays = dict(ops=ops, keys=keys, key_sizes=key_sizes,
+                      value_sizes=value_sizes, penalties=penalties)
+        for name, arr in arrays.items():
+            if len(arr) != n:
+                raise ValueError(
+                    f"column {name!r} has {len(arr)} rows, expected {n}")
+        self.ops = np.asarray(ops, dtype=np.uint8)
+        self.keys = np.asarray(keys, dtype=np.int64)
+        self.key_sizes = np.asarray(key_sizes, dtype=np.int32)
+        self.value_sizes = np.asarray(value_sizes, dtype=np.int32)
+        self.penalties = np.asarray(penalties, dtype=np.float64)
+        if timestamps is None:
+            timestamps = np.zeros(n, dtype=np.float64)
+        elif len(timestamps) != n:
+            raise ValueError("timestamps length mismatch")
+        self.timestamps = np.asarray(timestamps, dtype=np.float64)
+        self.meta = dict(meta or {})
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __getitem__(self, i: int) -> Request:
+        return Request(Op(int(self.ops[i])), int(self.keys[i]),
+                       int(self.key_sizes[i]), int(self.value_sizes[i]),
+                       float(self.penalties[i]), float(self.timestamps[i]))
+
+    def iter_rows(self) -> Iterator[tuple[int, int, int, int, float]]:
+        """Fast row iterator yielding ``(op, key, key_size, value_size,
+        penalty)`` as plain Python scalars (the simulator hot path)."""
+        return zip(self.ops.tolist(), self.keys.tolist(),
+                   self.key_sizes.tolist(), self.value_sizes.tolist(),
+                   self.penalties.tolist())
+
+    # -- composition ------------------------------------------------------
+    def slice(self, start: int, stop: int | None = None) -> "Trace":
+        sl = np.s_[start:stop]
+        return Trace(self.ops[sl], self.keys[sl], self.key_sizes[sl],
+                     self.value_sizes[sl], self.penalties[sl],
+                     self.timestamps[sl], dict(self.meta))
+
+    def concat(self, other: "Trace") -> "Trace":
+        if len(other) and len(self):
+            shift = self.timestamps[-1]
+        else:
+            shift = 0.0
+        meta = dict(self.meta)
+        meta["concatenated"] = True
+        return Trace(
+            np.concatenate([self.ops, other.ops]),
+            np.concatenate([self.keys, other.keys]),
+            np.concatenate([self.key_sizes, other.key_sizes]),
+            np.concatenate([self.value_sizes, other.value_sizes]),
+            np.concatenate([self.penalties, other.penalties]),
+            np.concatenate([self.timestamps, other.timestamps + shift]),
+            meta)
+
+    def repeat(self, times: int) -> "Trace":
+        """Replay the trace ``times`` times back-to-back.
+
+        The paper repeats the APP trace "to highlight the performance
+        difference among the schemes" once cold misses are out.
+        """
+        if times < 1:
+            raise ValueError("times must be >= 1")
+        out = self
+        for _ in range(times - 1):
+            out = out.concat(self)
+        out.meta["repeats"] = times
+        return out
+
+    @property
+    def num_gets(self) -> int:
+        return int(np.count_nonzero(self.ops == Op.GET))
+
+    @property
+    def unique_keys(self) -> int:
+        return int(np.unique(self.keys).size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Trace(n={len(self)}, gets={self.num_gets}, "
+                f"meta={self.meta})")

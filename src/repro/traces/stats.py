@@ -1,0 +1,123 @@
+"""Trace analysis: the numbers behind Fig 1 and the workload tables.
+
+Summarises operation mix, size and penalty distributions, popularity
+skew, and — the Fig 1 artifact — penalty statistics per item-size
+decade, showing that penalty varies over decades at every size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traces.record import Op, Trace
+
+
+@dataclass
+class SizeBucketPenalty:
+    """Penalty statistics for one item-size bucket (Fig 1 row)."""
+
+    size_lo: int
+    size_hi: int
+    count: int
+    penalty_min: float
+    penalty_p50: float
+    penalty_p90: float
+    penalty_max: float
+
+
+@dataclass
+class TraceStats:
+    """Computed summary of a trace."""
+
+    n_requests: int
+    n_gets: int
+    n_sets: int
+    n_deletes: int
+    unique_keys: int
+    one_timer_fraction: float
+    item_size_p50: float
+    item_size_p99: float
+    item_size_max: int
+    penalty_p50: float
+    penalty_p99: float
+    penalty_max: float
+    top1pct_access_share: float
+    penalty_by_size: list[SizeBucketPenalty] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Readable multi-line report."""
+        lines = [
+            f"requests        {self.n_requests}",
+            f"  GET/SET/DEL   {self.n_gets}/{self.n_sets}/{self.n_deletes}",
+            f"unique keys     {self.unique_keys}",
+            f"one-timers      {self.one_timer_fraction:.1%}",
+            f"item size       p50={self.item_size_p50:.0f}B "
+            f"p99={self.item_size_p99:.0f}B max={self.item_size_max}B",
+            f"penalty         p50={self.penalty_p50 * 1e3:.1f}ms "
+            f"p99={self.penalty_p99:.2f}s max={self.penalty_max:.2f}s",
+            f"top 1% keys serve {self.top1pct_access_share:.1%} of accesses",
+            "",
+            f"{'size bucket':>20} {'count':>9} {'min':>9} {'p50':>9} "
+            f"{'p90':>9} {'max':>9}   (penalty, s)",
+        ]
+        for b in self.penalty_by_size:
+            lines.append(
+                f"{b.size_lo:>8}-{b.size_hi:<11} {b.count:>9} "
+                f"{b.penalty_min:>9.4f} {b.penalty_p50:>9.4f} "
+                f"{b.penalty_p90:>9.4f} {b.penalty_max:>9.4f}")
+        return "\n".join(lines)
+
+
+def penalty_by_size_decade(trace: Trace) -> list[SizeBucketPenalty]:
+    """Fig 1 data: penalty spread per decade of item size."""
+    sizes = (trace.key_sizes + trace.value_sizes).astype(np.float64)
+    penalties = trace.penalties
+    buckets: list[SizeBucketPenalty] = []
+    lo = 1
+    max_size = int(sizes.max()) if len(sizes) else 0
+    while lo <= max_size:
+        hi = lo * 10 - 1
+        mask = (sizes >= lo) & (sizes <= hi)
+        count = int(np.count_nonzero(mask))
+        if count:
+            pens = penalties[mask]
+            buckets.append(SizeBucketPenalty(
+                lo, hi, count, float(pens.min()),
+                float(np.percentile(pens, 50)),
+                float(np.percentile(pens, 90)), float(pens.max())))
+        lo *= 10
+    return buckets
+
+
+def analyze(trace: Trace) -> TraceStats:
+    """Compute the full summary of a trace."""
+    if len(trace) == 0:
+        raise ValueError("cannot analyze an empty trace")
+    ops = trace.ops
+    sizes = (trace.key_sizes.astype(np.int64)
+             + trace.value_sizes.astype(np.int64))
+    keys, counts = np.unique(trace.keys, return_counts=True)
+
+    # share of accesses going to the most popular 1% of keys
+    sorted_counts = np.sort(counts)[::-1]
+    top_n = max(1, len(keys) // 100)
+    top_share = float(sorted_counts[:top_n].sum() / counts.sum())
+
+    return TraceStats(
+        n_requests=len(trace),
+        n_gets=int(np.count_nonzero(ops == Op.GET)),
+        n_sets=int(np.count_nonzero(ops == Op.SET)),
+        n_deletes=int(np.count_nonzero(ops == Op.DELETE)),
+        unique_keys=len(keys),
+        one_timer_fraction=float(np.count_nonzero(counts == 1) / len(keys)),
+        item_size_p50=float(np.percentile(sizes, 50)),
+        item_size_p99=float(np.percentile(sizes, 99)),
+        item_size_max=int(sizes.max()),
+        penalty_p50=float(np.percentile(trace.penalties, 50)),
+        penalty_p99=float(np.percentile(trace.penalties, 99)),
+        penalty_max=float(trace.penalties.max()),
+        top1pct_access_share=top_share,
+        penalty_by_size=penalty_by_size_decade(trace),
+    )

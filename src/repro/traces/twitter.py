@@ -1,0 +1,128 @@
+"""Reader for the open-source Twitter production cache-trace format.
+
+Twitter released anonymised production cache traces alongside
+Twemcache (Yang et al., OSDI 2020).  Each line is
+
+    timestamp,anonymized_key,key_size,value_size,client_id,operation,ttl
+
+with ``timestamp`` in seconds, sizes in bytes, and ``operation`` one of
+get/gets/set/add/replace/cas/append/prepend/delete/incr/decr.
+
+This module maps that format onto :class:`repro.traces.record.Trace` so
+the simulator and all policies run on the public production traces
+unchanged.  Penalties are not part of the format; they are synthesised
+with a :class:`~repro.traces.penalty.PenaltyModel` (deterministic per
+key) or, when ``infer=True``, estimated with the paper's GET-miss→SET
+gap rule over the timestamps.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.bloom.hashing import fnv1a64
+from repro.traces.penalty import PenaltyModel, infer_penalties
+from repro.traces.record import Op, Trace
+
+#: Twitter operation string -> our Op (unsupported ops are skipped).
+_OP_MAP = {
+    "get": Op.GET, "gets": Op.GET,
+    "set": Op.SET, "add": Op.SET, "replace": Op.SET, "cas": Op.SET,
+    "append": Op.SET, "prepend": Op.SET,
+    "delete": Op.DELETE,
+    # incr/decr touch an existing value: model as GETs (reads that miss
+    # if the key is absent), the standard simplification
+    "incr": Op.GET, "decr": Op.GET,
+}
+
+
+class TwitterTraceError(ValueError):
+    """Malformed line in a Twitter-format trace."""
+
+
+def _key_to_int(key: str) -> int:
+    """Anonymised keys are opaque strings; hash to a stable 63-bit id."""
+    return fnv1a64(key.encode("utf-8")) & 0x7FFFFFFFFFFFFFFF
+
+
+def iter_twitter_lines(lines: Iterable[str], strict: bool = True
+                       ) -> Iterator[tuple[float, int, int, int, int, int]]:
+    """Parse lines into (timestamp, key, key_size, value_size, op, ttl).
+
+    ``strict=False`` skips malformed lines instead of raising.
+    """
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(",")
+        if len(parts) != 7:
+            if strict:
+                raise TwitterTraceError(
+                    f"line {lineno}: expected 7 fields, got {len(parts)}")
+            continue
+        ts, key, ksz, vsz, _client, op, ttl = parts
+        mapped = _OP_MAP.get(op.lower())
+        if mapped is None:
+            if strict:
+                raise TwitterTraceError(f"line {lineno}: unknown op {op!r}")
+            continue
+        try:
+            yield (float(ts), _key_to_int(key), max(int(ksz), 1),
+                   max(int(vsz), 0), int(mapped), int(ttl))
+        except ValueError as exc:
+            if strict:
+                raise TwitterTraceError(
+                    f"line {lineno}: malformed numeric field") from exc
+            continue
+
+
+def load_twitter(path: str | os.PathLike, limit: int | None = None,
+                 penalty_model: PenaltyModel | None = None,
+                 infer: bool = False, strict: bool = True) -> Trace:
+    """Load a Twitter-format trace file into a :class:`Trace`.
+
+    Args:
+        path: the CSV file (uncompressed).
+        limit: stop after this many parsed requests.
+        penalty_model: synthesises per-key penalties (default model if
+            None and ``infer`` is False).
+        infer: derive penalties from GET-miss→SET gaps instead (the
+            paper's estimator; needs SETs in the trace to learn from).
+        strict: raise on malformed lines vs skip them.
+    """
+    rows_ts: list[float] = []
+    rows_key: list[int] = []
+    rows_ksz: list[int] = []
+    rows_vsz: list[int] = []
+    rows_op: list[int] = []
+    with open(path) as fh:
+        for ts, key, ksz, vsz, op, _ttl in iter_twitter_lines(fh, strict):
+            rows_ts.append(ts)
+            rows_key.append(key)
+            rows_ksz.append(ksz)
+            rows_vsz.append(vsz)
+            rows_op.append(op)
+            if limit is not None and len(rows_ts) >= limit:
+                break
+    if not rows_ts:
+        raise TwitterTraceError(f"no parsable requests in {path}")
+
+    keys = np.asarray(rows_key, dtype=np.int64)
+    key_sizes = np.asarray(rows_ksz, dtype=np.int32)
+    value_sizes = np.asarray(rows_vsz, dtype=np.int32)
+    trace = Trace(
+        np.asarray(rows_op, dtype=np.uint8), keys, key_sizes, value_sizes,
+        np.zeros(len(keys)), np.asarray(rows_ts, dtype=np.float64),
+        meta={"workload": "twitter", "source": str(path)})
+
+    if infer:
+        trace.penalties[:] = infer_penalties(trace)
+    else:
+        model = penalty_model or PenaltyModel()
+        trace.penalties[:] = model.penalties_for(
+            keys, key_sizes.astype(np.int64) + value_sizes)
+    return trace

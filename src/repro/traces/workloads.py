@@ -1,0 +1,208 @@
+"""Workload profiles modeled on the Facebook Memcached trace study.
+
+The paper evaluates on traces from Atikoglu et al., "Workload Analysis
+of a Large-scale Key-value Store" (SIGMETRICS 2012) — five production
+pools: ETC, APP, USR, SYS, VAR.  The raw traces are proprietary, so
+each profile below encodes the published marginal characteristics the
+allocation schemes actually react to: operation mix, key/value size
+distributions, popularity skew, cold-miss share, and key churn.  See
+DESIGN.md "Data we do not have → substitutions".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SizeMixture:
+    """Mixture of log-uniform size bands: ``(weight, lo_bytes, hi_bytes)``.
+
+    A sampled size is log-uniform within its band, which reproduces the
+    multi-decade spread of the Facebook value sizes without pretending
+    to know their exact shape.
+    """
+
+    bands: tuple[tuple[float, int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.bands:
+            raise ValueError("size mixture needs at least one band")
+        total = sum(w for w, _, _ in self.bands)
+        if not 0.999 <= total <= 1.001:
+            raise ValueError(f"band weights must sum to 1, got {total}")
+        for w, lo, hi in self.bands:
+            if w < 0 or lo <= 0 or hi < lo:
+                raise ValueError(f"invalid band {(w, lo, hi)}")
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Everything the synthetic generator needs for one workload.
+
+    Attributes:
+        name: profile identifier (``etc``, ``app``...).
+        num_keys: size of the warm key universe (ranks 0..num_keys-1).
+        zipf_alpha: popularity skew of the warm keys.
+        get_fraction / set_fraction / delete_fraction: operation mix
+            (must sum to 1).
+        cold_fraction: share of GETs addressed to never-seen-before keys
+            (compulsory misses; ~40% of APP's misses are cold).
+        key_sizes: mixture for key sizes.
+        value_sizes: mixture for value sizes.
+        penalty_correlation: slope of mean log-penalty vs log-size
+            (Fig 1 shows a weak positive trend with huge scatter).
+        penalty_sigma: lognormal scatter of penalties (decades of spread).
+        penalty_unknown_fraction: keys whose penalty is unknown and takes
+            the paper's 100 ms default.
+        churn_interval: requests between popularity rotations (0 = none).
+        churn_fraction: fraction of the hot set retired per rotation.
+    """
+
+    name: str
+    num_keys: int
+    zipf_alpha: float = 1.0
+    get_fraction: float = 0.9
+    set_fraction: float = 0.1
+    delete_fraction: float = 0.0
+    cold_fraction: float = 0.03
+    key_sizes: SizeMixture = field(
+        default_factory=lambda: SizeMixture(((1.0, 16, 40),)))
+    value_sizes: SizeMixture = field(
+        default_factory=lambda: SizeMixture(((1.0, 32, 1024),)))
+    penalty_correlation: float = 0.25
+    penalty_sigma: float = 1.0
+    penalty_unknown_fraction: float = 0.1
+    churn_interval: int = 0
+    churn_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.num_keys <= 0:
+            raise ValueError("num_keys must be positive")
+        mix = self.get_fraction + self.set_fraction + self.delete_fraction
+        if not 0.999 <= mix <= 1.001:
+            raise ValueError(f"operation mix must sum to 1, got {mix}")
+        if not 0.0 <= self.cold_fraction < 1.0:
+            raise ValueError("cold_fraction must be in [0, 1)")
+        if self.zipf_alpha <= 0:
+            raise ValueError("zipf_alpha must be positive")
+        if not 0.0 <= self.penalty_unknown_fraction <= 1.0:
+            raise ValueError("penalty_unknown_fraction must be in [0, 1]")
+        if self.churn_interval < 0 or not 0.0 <= self.churn_fraction <= 1.0:
+            raise ValueError("invalid churn parameters")
+
+    def scaled(self, factor: float) -> "WorkloadProfile":
+        """Shrink/grow the key universe (for scaled-down experiments)."""
+        from dataclasses import replace
+        return replace(self, num_keys=max(1, int(self.num_keys * factor)))
+
+
+# ---------------------------------------------------------------------------
+# The five Facebook pools (published characteristics; see module docstring)
+# ---------------------------------------------------------------------------
+
+#: ETC — "the most representative of large-scale general-purpose KV
+#: stores": diverse small values, mild cold traffic, strong skew.
+ETC = WorkloadProfile(
+    name="etc",
+    num_keys=300_000,
+    zipf_alpha=1.01,
+    get_fraction=0.92, set_fraction=0.08, delete_fraction=0.0,
+    cold_fraction=0.03,
+    key_sizes=SizeMixture(((0.8, 16, 30), (0.2, 16, 60))),
+    # Atikoglu et al.: tiny values are very common in ETC (a spike at a
+    # few bytes, ~90% of values under 500 B) with a long large tail —
+    # this is what makes the paper's class 0 receive >70% of requests.
+    value_sizes=SizeMixture((
+        (0.50, 2, 36),          # the tiny-value spike
+        (0.24, 30, 300),
+        (0.17, 300, 2_000),
+        (0.07, 2_000, 12_000),
+        (0.02, 10_000, 120_000),
+    )),
+    penalty_correlation=0.25,
+    penalty_sigma=1.8,
+    penalty_unknown_fraction=0.10,
+    churn_interval=400_000,
+    churn_fraction=0.05,
+)
+
+#: APP — application-object pool: larger values, a big one-timer
+#: population (≈40% of misses are cold), moderate skew.
+APP = WorkloadProfile(
+    name="app",
+    num_keys=200_000,
+    zipf_alpha=0.85,
+    get_fraction=0.88, set_fraction=0.12, delete_fraction=0.0,
+    cold_fraction=0.12,
+    key_sizes=SizeMixture(((1.0, 20, 60),)),
+    value_sizes=SizeMixture((
+        (0.30, 150, 600),
+        (0.40, 600, 6_000),
+        (0.25, 3_000, 40_000),
+        (0.05, 20_000, 250_000),
+    )),
+    penalty_correlation=0.35,
+    penalty_sigma=2.0,
+    penalty_unknown_fraction=0.08,
+    churn_interval=500_000,
+    churn_fraction=0.08,
+)
+
+#: USR — two key sizes (16 B / 21 B), essentially one value size (2 B),
+#: overwhelmingly GETs.
+USR = WorkloadProfile(
+    name="usr",
+    num_keys=800_000,
+    zipf_alpha=0.95,
+    get_fraction=0.99, set_fraction=0.01, delete_fraction=0.0,
+    cold_fraction=0.01,
+    key_sizes=SizeMixture(((0.5, 16, 16), (0.5, 21, 21))),
+    value_sizes=SizeMixture(((1.0, 2, 2),)),
+    penalty_correlation=0.0,
+    penalty_sigma=0.8,
+    penalty_unknown_fraction=0.15,
+)
+
+#: SYS — server metadata: tiny key universe (near-100% hit ratio at 1GB),
+#: mid-size values.
+SYS = WorkloadProfile(
+    name="sys",
+    num_keys=8_000,
+    zipf_alpha=1.1,
+    get_fraction=0.95, set_fraction=0.05, delete_fraction=0.0,
+    cold_fraction=0.002,
+    key_sizes=SizeMixture(((1.0, 20, 45),)),
+    value_sizes=SizeMixture(((0.7, 200, 5_000), (0.3, 2_000, 60_000))),
+    penalty_correlation=0.2,
+    penalty_sigma=0.9,
+    penalty_unknown_fraction=0.1,
+)
+
+#: VAR — update-dominated side data (SET/REPLACE heavy, small values).
+VAR = WorkloadProfile(
+    name="var",
+    num_keys=150_000,
+    zipf_alpha=0.9,
+    get_fraction=0.25, set_fraction=0.73, delete_fraction=0.02,
+    cold_fraction=0.05,
+    key_sizes=SizeMixture(((1.0, 20, 40),)),
+    value_sizes=SizeMixture(((0.9, 16, 200), (0.1, 100, 2_000))),
+    penalty_correlation=0.1,
+    penalty_sigma=0.9,
+    penalty_unknown_fraction=0.2,
+)
+
+PROFILES: dict[str, WorkloadProfile] = {
+    p.name: p for p in (ETC, APP, USR, SYS, VAR)
+}
+
+
+def get_profile(name: str) -> WorkloadProfile:
+    """Look up a built-in profile by name (case-insensitive)."""
+    try:
+        return PROFILES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; available: {sorted(PROFILES)}"
+        ) from None

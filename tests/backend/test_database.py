@@ -1,0 +1,43 @@
+"""Tests for the simulated backend."""
+
+import math
+
+import pytest
+
+from repro.backend import SimulatedBackend
+from repro.traces.penalty import PenaltyModel
+
+
+class TestSimulatedBackend:
+    def test_fetch_is_deterministic_at_fixed_time(self):
+        b = SimulatedBackend()
+        assert b.fetch(1, 100, now=0.0) == b.fetch(1, 100, now=0.0)
+
+    def test_load_factor_cycle(self):
+        b = SimulatedBackend(diurnal_amplitude=0.5, diurnal_period=100.0)
+        assert b.load_factor(0.0) == pytest.approx(1.0)
+        assert b.load_factor(25.0) == pytest.approx(1.5)
+        assert b.load_factor(75.0) == pytest.approx(0.5)
+
+    def test_flat_when_amplitude_zero(self):
+        b = SimulatedBackend(diurnal_amplitude=0.0)
+        base = b.penalty_model.penalty_for(7, 200)
+        for t in (0.0, 1000.0, 54321.0):
+            assert b.fetch(7, 200, now=t) == pytest.approx(base)
+
+    def test_counters(self):
+        b = SimulatedBackend()
+        total = sum(b.fetch(k, 100) for k in range(5))
+        assert b.fetches == 5
+        assert b.total_cost == pytest.approx(total)
+
+    def test_shared_penalty_model(self):
+        model = PenaltyModel(seed=9)
+        b = SimulatedBackend(penalty_model=model, diurnal_amplitude=0.0)
+        assert b.fetch(3, 500) == pytest.approx(model.penalty_for(3, 500))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SimulatedBackend(diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            SimulatedBackend(diurnal_period=0)

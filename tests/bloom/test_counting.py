@@ -1,0 +1,69 @@
+"""Tests for the counting Bloom filter extension."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bloom import CountingBloomFilter
+
+
+class TestCountingBloomFilter:
+    def test_add_remove_roundtrip(self):
+        f = CountingBloomFilter(capacity=100)
+        f.add(7)
+        assert 7 in f
+        assert f.remove(7)
+        assert 7 not in f
+
+    def test_remove_absent_is_noop(self):
+        f = CountingBloomFilter(capacity=1000, fp_rate=0.001)
+        assert not f.remove(12345)
+        assert f.count == 0
+
+    def test_multiset_semantics(self):
+        f = CountingBloomFilter(capacity=100)
+        f.add(3)
+        f.add(3)
+        f.remove(3)
+        assert 3 in f  # one occurrence remains
+        f.remove(3)
+        assert 3 not in f
+
+    def test_no_false_negatives_under_churn(self):
+        f = CountingBloomFilter(capacity=500, fp_rate=0.01)
+        for k in range(300):
+            f.add(k)
+        for k in range(0, 300, 2):
+            f.remove(k)
+        for k in range(1, 300, 2):
+            assert k in f
+
+    def test_clear(self):
+        f = CountingBloomFilter(capacity=10)
+        f.add(1)
+        f.clear()
+        assert 1 not in f and f.count == 0
+
+    def test_saturation_never_underflows(self):
+        f = CountingBloomFilter(capacity=8)
+        for _ in range(300):
+            f.add(0)  # drive counters to saturation
+        for _ in range(300):
+            f.remove(0)
+        # saturated counters are pinned; membership stays (documented bias)
+        assert 0 in f
+
+    @settings(max_examples=30)
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=100))
+    def test_members_present_property(self, keys):
+        from collections import Counter
+        f = CountingBloomFilter(capacity=200)
+        counts = Counter()
+        for k in keys:
+            f.add(k)
+            counts[k] += 1
+        # remove half of each key's occurrences
+        for k, n in counts.items():
+            for _ in range(n // 2):
+                f.remove(k)
+        for k, n in counts.items():
+            if n - n // 2 > 0:
+                assert k in f

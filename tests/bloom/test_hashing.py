@@ -1,0 +1,87 @@
+"""Tests for the hash functions behind the Bloom filters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bloom.hashing import double_hashes, fnv1a64, hash_key, splitmix64
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_distinct_inputs_distinct_outputs(self):
+        outputs = {splitmix64(i) for i in range(10_000)}
+        assert len(outputs) == 10_000  # no collision in a small range
+
+    def test_output_is_64bit(self):
+        for i in (0, 1, 2**63, 2**64 - 1):
+            assert 0 <= splitmix64(i) < 2**64
+
+    def test_avalanche(self):
+        # flipping one input bit should flip roughly half the output bits
+        a, b = splitmix64(0x1234), splitmix64(0x1235)
+        flipped = bin(a ^ b).count("1")
+        assert 16 <= flipped <= 48
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_range_property(self, x):
+        assert 0 <= splitmix64(x) < 2**64
+
+
+class TestFnv1a64:
+    def test_known_vector(self):
+        # FNV-1a("") is the offset basis
+        assert fnv1a64(b"") == 0xCBF29CE484222325
+
+    def test_differs_by_content(self):
+        assert fnv1a64(b"hello") != fnv1a64(b"hellp")
+
+    def test_order_sensitive(self):
+        assert fnv1a64(b"ab") != fnv1a64(b"ba")
+
+
+class TestHashKey:
+    def test_int_and_str_supported(self):
+        assert isinstance(hash_key(123), int)
+        assert isinstance(hash_key("abc"), int)
+        assert isinstance(hash_key(b"abc"), int)
+
+    def test_str_matches_equivalent_bytes(self):
+        assert hash_key("key") == hash_key(b"key")
+
+    def test_seed_changes_hash(self):
+        assert hash_key(99, seed=1) != hash_key(99, seed=2)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            hash_key(True)
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            hash_key(3.14)
+
+    def test_negative_int_ok(self):
+        assert 0 <= hash_key(-5) < 2**64
+
+
+class TestDoubleHashes:
+    def test_count_and_range(self):
+        positions = double_hashes(7, k=5, nbits=128)
+        assert len(positions) == 5
+        assert all(0 <= p < 128 for p in positions)
+
+    def test_deterministic(self):
+        assert double_hashes("x", 4, 64) == double_hashes("x", 4, 64)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            double_hashes(1, k=0, nbits=64)
+        with pytest.raises(ValueError):
+            double_hashes(1, k=3, nbits=0)
+
+    @given(st.integers(min_value=0, max_value=2**32), st.integers(1, 16),
+           st.sampled_from([64, 128, 1024, 4096]))
+    def test_positions_in_range(self, key, k, nbits):
+        for p in double_hashes(key, k, nbits):
+            assert 0 <= p < nbits

@@ -1,0 +1,42 @@
+"""Tests for the removal filter's clear-on-readd semantics."""
+
+from repro.bloom import RemovalFilter
+
+
+class TestRemovalFilter:
+    def test_masks_removed_keys(self):
+        rf = RemovalFilter(capacity=100)
+        rf.mark_removed(5)
+        assert rf.masks(5)
+        assert not rf.masks(6) or True  # false positives allowed, no crash
+
+    def test_clear_on_readd_of_removed_key(self):
+        rf = RemovalFilter(capacity=100)
+        rf.mark_removed(5)
+        rf.mark_removed(6)
+        rf.on_segment_add(5)  # 5 re-enters a segment → filter must clear
+        assert rf.clears == 1
+        assert not rf.masks(5)
+        assert not rf.masks(6)  # clearing drops everything, per the paper
+
+    def test_no_clear_on_add_of_unremoved_key(self):
+        rf = RemovalFilter(capacity=1000, fp_rate=0.001)
+        rf.mark_removed(1)
+        rf.on_segment_add(999_999)
+        # almost surely no collision at 0.1% fp with 1 member
+        assert rf.clears == 0
+        assert rf.masks(1)
+
+    def test_counters(self):
+        rf = RemovalFilter(capacity=10)
+        for k in range(7):
+            rf.mark_removed(k)
+        assert rf.removals == 7
+        assert len(rf) == 7
+
+    def test_manual_clear(self):
+        rf = RemovalFilter(capacity=10)
+        rf.mark_removed(1)
+        rf.clear()
+        assert not rf.masks(1)
+        assert rf.clears == 0  # manual clears are not re-add clears

@@ -1,0 +1,118 @@
+"""Tests for item expiration (TTL), touch, and flush_all."""
+
+import pytest
+
+from repro.cache import SlabCache, SizeClassConfig
+from repro.core import PamaPolicy
+from repro.policies import StaticMemcachedPolicy
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def cache(clock):
+    return SlabCache(16 * 4096, StaticMemcachedPolicy(),
+                     SizeClassConfig(slab_size=4096, base_size=64),
+                     clock=clock)
+
+
+class TestExpiry:
+    def test_item_expires(self, cache, clock):
+        cache.set("k", 4, 50, 0.1, expires_at=clock.t + 10)
+        assert cache.get("k") is not None
+        clock.advance(11)
+        assert cache.get("k") is None
+        assert cache.stats.expired == 1
+        assert "k" not in cache
+
+    def test_no_expiry_by_default(self, cache, clock):
+        cache.set("k", 4, 50, 0.1)
+        clock.advance(10**9)
+        assert cache.get("k") is not None
+
+    def test_expiry_boundary_inclusive(self, cache, clock):
+        cache.set("k", 4, 50, 0.1, expires_at=clock.t + 5)
+        clock.advance(5)  # exactly at expiry -> expired
+        assert cache.get("k") is None
+
+    def test_expired_slot_is_reusable(self, cache, clock):
+        cache.set("k", 4, 50, 0.1, expires_at=clock.t + 1)
+        clock.advance(2)
+        cache.get("k")
+        cache.set("k2", 4, 50, 0.1)
+        cache.check_invariants()
+        assert len(cache) == 1
+
+    def test_replacing_clears_expiry(self, cache, clock):
+        cache.set("k", 4, 50, 0.1, expires_at=clock.t + 1)
+        cache.set("k", 4, 50, 0.1)  # no expiry
+        clock.advance(100)
+        assert cache.get("k") is not None
+
+    def test_expiry_with_pama_policy(self, clock):
+        cache = SlabCache(16 * 4096, PamaPolicy(),
+                          SizeClassConfig(slab_size=4096, base_size=64),
+                          clock=clock)
+        for i in range(30):
+            cache.set(i, 8, 50, 0.05, expires_at=clock.t + 1 + i)
+        clock.advance(15.5)
+        hits = sum(1 for i in range(30) if cache.get(i) is not None)
+        assert hits == 15
+        cache.check_invariants()
+        # expired items did not become ghosts (they were not evicted
+        # under pressure)
+        assert len(cache.policy.ghost_owner) == 0
+
+
+class TestTouch:
+    def test_touch_extends_life(self, cache, clock):
+        cache.set("k", 4, 50, 0.1, expires_at=clock.t + 5)
+        assert cache.touch("k", clock.t + 100)
+        clock.advance(50)
+        assert cache.get("k") is not None
+
+    def test_touch_absent(self, cache):
+        assert not cache.touch("nope", 12345.0)
+
+    def test_touch_expired_reports_not_found(self, cache, clock):
+        cache.set("k", 4, 50, 0.1, expires_at=clock.t + 1)
+        clock.advance(2)
+        assert not cache.touch("k", clock.t + 100)
+        assert cache.stats.expired == 1
+
+
+class TestFlushAll:
+    def test_flush_drops_everything_keeps_slabs(self, cache):
+        for i in range(40):
+            cache.set(i, 8, 50, 0.1)
+        slabs_before = cache.class_slab_distribution()
+        dropped = cache.flush_all()
+        assert dropped == 40
+        assert len(cache) == 0
+        assert cache.class_slab_distribution() == slabs_before
+        assert cache.stats.flushes == 1
+        cache.check_invariants()
+
+    def test_flush_empty(self, cache):
+        assert cache.flush_all() == 0
+
+    def test_cache_usable_after_flush(self, cache):
+        for i in range(20):
+            cache.set(i, 8, 50, 0.1)
+        cache.flush_all()
+        cache.set("fresh", 8, 50, 0.1)
+        assert cache.get("fresh") is not None

@@ -1,0 +1,155 @@
+"""Tests for the intrusive LRU list."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.item import Item
+from repro.cache.lru import LRUList
+
+
+def make_item(key):
+    return Item(key, key_size=8, value_size=32, penalty=0.01)
+
+
+class TestLRUListBasics:
+    def test_empty(self):
+        lru = LRUList()
+        assert len(lru) == 0
+        assert lru.front is None and lru.back is None
+        assert lru.pop_back() is None
+        lru.check_invariants()
+
+    def test_push_order(self):
+        lru = LRUList()
+        items = [make_item(i) for i in range(5)]
+        for it in items:
+            lru.push_front(it)
+        assert [i.key for i in lru] == [4, 3, 2, 1, 0]
+        assert [i.key for i in lru.iter_from_back()] == [0, 1, 2, 3, 4]
+        assert lru.front.key == 4 and lru.back.key == 0
+
+    def test_move_to_front(self):
+        lru = LRUList()
+        items = [make_item(i) for i in range(4)]
+        for it in items:
+            lru.push_front(it)
+        lru.move_to_front(items[1])
+        assert [i.key for i in lru] == [1, 3, 2, 0]
+        lru.check_invariants()
+
+    def test_move_front_item_is_noop(self):
+        lru = LRUList()
+        a, b = make_item("a"), make_item("b")
+        lru.push_front(a)
+        lru.push_front(b)
+        lru.move_to_front(b)
+        assert [i.key for i in lru] == ["b", "a"]
+
+    def test_remove_middle(self):
+        lru = LRUList()
+        items = [make_item(i) for i in range(3)]
+        for it in items:
+            lru.push_front(it)
+        lru.remove(items[1])
+        assert [i.key for i in lru] == [2, 0]
+        assert items[1].prev is None and items[1].next is None
+
+    def test_pop_back(self):
+        lru = LRUList()
+        for i in range(3):
+            lru.push_front(make_item(i))
+        assert lru.pop_back().key == 0
+        assert lru.pop_back().key == 1
+        assert lru.pop_back().key == 2
+        assert lru.pop_back() is None
+
+    def test_remove_only_item(self):
+        lru = LRUList()
+        it = make_item(0)
+        lru.push_front(it)
+        lru.remove(it)
+        assert len(lru) == 0 and lru.front is None and lru.back is None
+        lru.check_invariants()
+
+
+class RecordingObserver:
+    def __init__(self):
+        self.events = []
+
+    def on_push_front(self, item):
+        self.events.append(("push", item.key))
+
+    def on_remove(self, item):
+        # Links must still be intact at callback time.
+        assert item.prev is not None or item.next is not None or True
+        self.events.append(("remove", item.key))
+
+
+class TestObserver:
+    def test_events_fire(self):
+        lru = LRUList()
+        obs = RecordingObserver()
+        lru.observer = obs
+        a, b = make_item("a"), make_item("b")
+        lru.push_front(a)
+        lru.push_front(b)
+        lru.move_to_front(a)
+        lru.remove(b)
+        assert obs.events == [
+            ("push", "a"), ("push", "b"),
+            ("remove", "a"), ("push", "a"),
+            ("remove", "b"),
+        ]
+
+    def test_on_remove_sees_links(self):
+        lru = LRUList()
+        seen = {}
+
+        class Probe:
+            def on_push_front(self, item):
+                pass
+
+            def on_remove(self, item):
+                seen["prev"] = item.prev
+                seen["next"] = item.next
+
+        lru.observer = Probe()
+        a, b, c = make_item("a"), make_item("b"), make_item("c")
+        for it in (a, b, c):
+            lru.push_front(it)
+        lru.remove(b)
+        assert seen["prev"] is c and seen["next"] is a
+
+
+class TestLRUPropertyBased:
+    @settings(max_examples=60)
+    @given(st.lists(st.tuples(st.sampled_from(["push", "move", "pop", "remove"]),
+                              st.integers(0, 19)), max_size=120))
+    def test_matches_python_list_model(self, ops):
+        lru = LRUList()
+        model = []  # front at index 0
+        items = {}
+        for op, k in ops:
+            if op == "push":
+                if k in items:
+                    continue
+                it = make_item(k)
+                items[k] = it
+                lru.push_front(it)
+                model.insert(0, k)
+            elif op == "move" and k in items:
+                lru.move_to_front(items[k])
+                model.remove(k)
+                model.insert(0, k)
+            elif op == "pop" and model:
+                popped = lru.pop_back()
+                expect = model.pop()
+                assert popped.key == expect
+                del items[expect]
+            elif op == "remove" and k in items:
+                lru.remove(items[k])
+                model.remove(k)
+                del items[k]
+            lru.check_invariants()
+            assert [i.key for i in lru] == model

@@ -1,0 +1,64 @@
+"""Tests for the slab pool accounting."""
+
+import pytest
+
+from repro.cache.errors import OutOfMemoryError
+from repro.cache.slab import SlabPool
+
+
+class TestSlabPool:
+    def test_capacity_division(self):
+        pool = SlabPool(capacity_bytes=10 * 4096 + 100, slab_size=4096)
+        assert pool.total == 10
+        assert pool.free == 10
+
+    def test_acquire_and_release(self):
+        pool = SlabPool(8 * 4096, 4096)
+        pool.acquire((0, 0))
+        pool.acquire((0, 0))
+        pool.acquire((1, 0))
+        assert pool.free == 5
+        assert pool.owned_by((0, 0)) == 2
+        pool.release((0, 0))
+        assert pool.free == 6
+        assert pool.owned_by((0, 0)) == 1
+        pool.check_invariants()
+
+    def test_exhaustion(self):
+        pool = SlabPool(2 * 64, 64)
+        pool.acquire((0, 0))
+        pool.acquire((0, 0))
+        with pytest.raises(OutOfMemoryError):
+            pool.acquire((0, 0))
+
+    def test_transfer(self):
+        pool = SlabPool(4 * 64, 64)
+        pool.acquire((0, 0))
+        pool.transfer((0, 0), (3, 1))
+        assert pool.owned_by((0, 0)) == 0
+        assert pool.owned_by((3, 1)) == 1
+        assert pool.free == 3
+        pool.check_invariants()
+
+    def test_transfer_from_empty_owner(self):
+        pool = SlabPool(4 * 64, 64)
+        with pytest.raises(OutOfMemoryError):
+            pool.transfer((0, 0), (1, 0))
+
+    def test_release_unowned(self):
+        pool = SlabPool(4 * 64, 64)
+        with pytest.raises(OutOfMemoryError):
+            pool.release((9, 9))
+
+    def test_ownership_snapshot_excludes_zero(self):
+        pool = SlabPool(4 * 64, 64)
+        pool.acquire((0, 0))
+        pool.release((0, 0))
+        pool.acquire((1, 0))
+        assert pool.ownership() == {(1, 0): 1}
+
+    def test_sub_slab_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SlabPool(63, 64)
+        with pytest.raises(ValueError):
+            SlabPool(64, 0)

@@ -1,0 +1,92 @@
+"""Tests for the consistent-hash ring."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import ConsistentHashRing
+
+
+def ring_with(*nodes, replicas=64):
+    ring = ConsistentHashRing(replicas=replicas)
+    for n in nodes:
+        ring.add_node(n)
+    return ring
+
+
+class TestRingBasics:
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            ConsistentHashRing().node_for("k")
+
+    def test_single_node_owns_everything(self):
+        ring = ring_with("a")
+        assert all(ring.node_for(i) == "a" for i in range(100))
+
+    def test_routing_deterministic(self):
+        ring = ring_with("a", "b", "c")
+        assert ring.node_for(42) == ring.node_for(42)
+
+    def test_duplicate_add_rejected(self):
+        ring = ring_with("a")
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+
+    def test_remove_absent_rejected(self):
+        with pytest.raises(ValueError):
+            ring_with("a").remove_node("b")
+
+    def test_invalid_replicas(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(replicas=0)
+
+    def test_nodes_view(self):
+        ring = ring_with("a", "b")
+        assert ring.nodes == {"a", "b"}
+        assert len(ring) == 2
+
+
+class TestBalanceAndStability:
+    def test_reasonable_balance(self):
+        ring = ring_with("a", "b", "c", "d", replicas=128)
+        dist = ring.distribution(range(20_000))
+        for count in dist.values():
+            assert 0.5 * 5_000 < count < 1.6 * 5_000, dist
+
+    def test_minimal_remap_on_node_add(self):
+        before = ring_with("a", "b", "c", "d")
+        after = ring_with("a", "b", "c", "d")
+        after.add_node("e")
+        moved = before.remap_fraction(range(20_000), after)
+        # ideal is 1/5 = 0.2; allow slack for virtual-node variance
+        assert moved < 0.35, moved
+        # naive mod-N hashing would remap ~0.8 of keys
+        assert moved > 0.05
+
+    def test_removed_nodes_keys_spread(self):
+        ring = ring_with("a", "b", "c")
+        keys_of_c = [k for k in range(10_000) if ring.node_for(k) == "c"]
+        ring.remove_node("c")
+        new_owners = {ring.node_for(k) for k in keys_of_c}
+        assert new_owners <= {"a", "b"} and len(new_owners) == 2
+
+    def test_survivor_routing_unchanged(self):
+        ring = ring_with("a", "b", "c")
+        kept = {k: ring.node_for(k) for k in range(5_000)
+                if ring.node_for(k) != "c"}
+        ring.remove_node("c")
+        for key, owner in kept.items():
+            assert ring.node_for(key) == owner
+
+    @settings(max_examples=30)
+    @given(st.sets(st.sampled_from(["n1", "n2", "n3", "n4", "n5"]),
+                   min_size=1),
+           st.integers(0, 10_000))
+    def test_routing_total_and_consistent(self, nodes, key):
+        ring = ring_with(*sorted(nodes))
+        owner = ring.node_for(key)
+        assert owner in nodes
+        assert ring.node_for(key) == owner
+
+    def test_remap_fraction_empty_keys(self):
+        a, b = ring_with("x"), ring_with("x")
+        assert a.remap_fraction([], b) == 0.0

@@ -1,0 +1,118 @@
+"""Tests for the ghost list, including a brute-force oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ghost import GhostList
+
+
+class TestGhostBasics:
+    def test_push_and_lookup(self):
+        g = GhostList(seg_len=2, num_segments=2)
+        g.push("a", 0.5)
+        assert "a" in g
+        entry = g.lookup("a")
+        assert entry.penalty == 0.5 and entry.seg == 0
+        g.check_invariants()
+
+    def test_segments_by_eviction_recency(self):
+        g = GhostList(seg_len=2, num_segments=3)
+        for i in range(5):
+            g.push(i, 0.1)
+        # most recent push (4) at top: segment 0
+        assert g.segment_of(4) == 0 and g.segment_of(3) == 0
+        assert g.segment_of(2) == 1 and g.segment_of(1) == 1
+        assert g.segment_of(0) == 2
+        g.check_invariants()
+
+    def test_capacity_drop(self):
+        g = GhostList(seg_len=2, num_segments=2)
+        dropped = [g.push(i, 0.1) for i in range(6)]
+        assert dropped[:4] == [None] * 4
+        assert dropped[4] == 0 and dropped[5] == 1
+        assert len(g) == 4
+        assert 0 not in g and 1 not in g
+        g.check_invariants()
+
+    def test_remove(self):
+        g = GhostList(seg_len=2, num_segments=2)
+        for i in range(4):
+            g.push(i, 0.1)
+        assert g.remove(2)
+        assert not g.remove(2)
+        assert len(g) == 3
+        # entries below the removed one move up a distance
+        assert g.segment_of(3) == 0
+        assert g.segment_of(1) == 0
+        assert g.segment_of(0) == 1
+        g.check_invariants()
+
+    def test_repush_refreshes_position(self):
+        g = GhostList(seg_len=1, num_segments=3)
+        g.push("a", 0.1)
+        g.push("b", 0.2)
+        g.push("a", 0.3)  # re-eviction of a
+        assert g.segment_of("a") == 0
+        assert g.segment_of("b") == 1
+        assert g.lookup("a").penalty == 0.3
+        assert len(g) == 2
+        g.check_invariants()
+
+    def test_segment_of_absent(self):
+        g = GhostList(2, 2)
+        assert g.segment_of("nope") == -1
+
+    def test_clear(self):
+        g = GhostList(2, 2)
+        for i in range(3):
+            g.push(i, 0.1)
+        g.clear()
+        assert len(g) == 0 and 0 not in g
+        g.check_invariants()
+
+    def test_iteration_order_top_down(self):
+        g = GhostList(3, 2)
+        for i in range(4):
+            g.push(i, 0.1)
+        assert [e.key for e in g] == [3, 2, 1, 0]
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            GhostList(0, 2)
+        with pytest.raises(ValueError):
+            GhostList(2, 0)
+
+
+class TestGhostOracle:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        seg_len=st.integers(1, 4),
+        num_segments=st.integers(1, 4),
+        ops=st.lists(st.tuples(st.sampled_from(["push", "remove", "repush"]),
+                               st.integers(0, 30)), max_size=150),
+    )
+    def test_random_ops_match_oracle(self, seg_len, num_segments, ops):
+        g = GhostList(seg_len, num_segments)
+        model = []  # keys, top first
+        for op, k in ops:
+            if op == "push":
+                key = f"k{k}"
+                if key in model:
+                    model.remove(key)
+                g.push(key, 0.1)
+                model.insert(0, key)
+                if len(model) > g.capacity:
+                    model.pop()
+            elif op == "remove" and model:
+                key = model[k % len(model)]
+                g.remove(key)
+                model.remove(key)
+            elif op == "repush" and model:
+                key = model[k % len(model)]
+                g.push(key, 0.2)
+                model.remove(key)
+                model.insert(0, key)
+            g.check_invariants()
+            assert [e.key for e in g] == model
+            for d, key in enumerate(model):
+                assert g.segment_of(key) == d // seg_len

@@ -1,0 +1,144 @@
+"""Tests for the exact segment tracker, including a brute-force oracle."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.item import Item
+from repro.cache.lru import LRUList
+from repro.core.segments import SegmentTracker
+
+
+def make_item(key):
+    return Item(key, 8, 32, 0.01)
+
+
+def tracked_list(seg_len, num_segments):
+    lru = LRUList()
+    tracker = SegmentTracker(lru, seg_len, num_segments)
+    return lru, tracker
+
+
+class TestSegmentAssignment:
+    def test_first_item_is_segment_zero(self):
+        lru, tracker = tracked_list(seg_len=2, num_segments=3)
+        a = make_item("a")
+        lru.push_front(a)
+        assert a.seg == 0
+        tracker.check_invariants()
+
+    def test_fill_across_segments(self):
+        lru, tracker = tracked_list(seg_len=2, num_segments=3)
+        items = [make_item(i) for i in range(8)]
+        for it in items:
+            lru.push_front(it)
+        # bottom-distance: items[0] is deepest (pushed first)
+        assert items[0].seg == 0 and items[1].seg == 0
+        assert items[2].seg == 1 and items[3].seg == 1
+        assert items[4].seg == 2 and items[5].seg == 2
+        assert items[6].seg == -1 and items[7].seg == -1
+        tracker.check_invariants()
+
+    def test_promotion_shifts_segments(self):
+        lru, tracker = tracked_list(seg_len=2, num_segments=2)
+        items = [make_item(i) for i in range(5)]
+        for it in items:
+            lru.push_front(it)
+        # order (MRU→LRU): 4 3 2 1 0 ; segs: -1 1 1 0 0
+        lru.move_to_front(items[0])  # bottom item promoted
+        # new order: 0 4 3 2 1 ; distances: 1→0, 2→1, 3→2, 4→3, 0→4
+        assert items[1].seg == 0
+        assert items[2].seg == 0
+        assert items[3].seg == 1
+        assert items[4].seg == 1
+        assert items[0].seg == -1
+        tracker.check_invariants()
+
+    def test_eviction_from_bottom(self):
+        lru, tracker = tracked_list(seg_len=2, num_segments=2)
+        items = [make_item(i) for i in range(6)]
+        for it in items:
+            lru.push_front(it)
+        victim = lru.pop_back()
+        assert victim is items[0]
+        assert items[1].seg == 0 and items[2].seg == 0
+        assert items[3].seg == 1 and items[4].seg == 1
+        assert items[5].seg == -1
+        tracker.check_invariants()
+
+    def test_segment_on_access_reads_pre_promotion_segment(self):
+        lru, tracker = tracked_list(seg_len=1, num_segments=3)
+        items = [make_item(i) for i in range(4)]
+        for it in items:
+            lru.push_front(it)
+        assert tracker.segment_on_access(items[1]) == 1
+        lru.move_to_front(items[1])
+        assert tracker.segment_on_access(items[1]) == -1
+
+    def test_seg_len_one(self):
+        lru, tracker = tracked_list(seg_len=1, num_segments=4)
+        items = [make_item(i) for i in range(6)]
+        for it in items:
+            lru.push_front(it)
+        for d, it in enumerate(items):
+            assert it.seg == (d if d < 4 else -1)
+        lru.remove(items[2])
+        tracker.check_invariants()
+        assert items[3].seg == 2 and items[4].seg == 3 and items[5].seg == -1
+
+
+class TestConstruction:
+    def test_rejects_non_empty_list(self):
+        lru = LRUList()
+        lru.push_front(make_item(0))
+        with pytest.raises(ValueError):
+            SegmentTracker(lru, 2, 2)
+
+    def test_rejects_double_observer(self):
+        lru, _ = tracked_list(2, 2)
+        with pytest.raises(ValueError):
+            SegmentTracker(lru, 2, 2)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SegmentTracker(LRUList(), 0, 2)
+        with pytest.raises(ValueError):
+            SegmentTracker(LRUList(), 2, 0)
+
+    def test_rollover_is_noop(self):
+        lru, tracker = tracked_list(2, 2)
+        tracker.rollover()
+        tracker.check_invariants()
+
+
+class TestSegmentTrackerOracle:
+    """Drive random op sequences; check_invariants recomputes every
+    item's segment brute-force and compares boundary pointers."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        seg_len=st.integers(1, 4),
+        num_segments=st.integers(1, 4),
+        ops=st.lists(st.tuples(st.sampled_from(["push", "move", "pop", "remove"]),
+                               st.integers(0, 24)), max_size=150),
+    )
+    def test_random_ops_match_oracle(self, seg_len, num_segments, ops):
+        lru, tracker = tracked_list(seg_len, num_segments)
+        live = {}
+        counter = [0]
+        for op, k in ops:
+            if op == "push":
+                key = f"k{counter[0]}"
+                counter[0] += 1
+                it = make_item(key)
+                live[key] = it
+                lru.push_front(it)
+            elif op == "move" and live:
+                key = sorted(live)[k % len(live)]
+                lru.move_to_front(live[key])
+            elif op == "pop" and live:
+                victim = lru.pop_back()
+                del live[victim.key]
+            elif op == "remove" and live:
+                key = sorted(live)[k % len(live)]
+                lru.remove(live.pop(key))
+            tracker.check_invariants()

@@ -1,0 +1,64 @@
+"""Tests for segment value accounting (Eq. 1 / Eq. 2)."""
+
+import math
+
+import pytest
+
+from repro.core.value import ValueAccumulator
+
+
+class TestValueAccumulator:
+    def test_eq1_accumulation(self):
+        acc = ValueAccumulator(3)
+        acc.add_outgoing(0, 0.5)
+        acc.add_outgoing(0, 0.25)
+        acc.add_outgoing(2, 1.0)
+        assert acc.out == [0.75, 0.0, 1.0]
+        assert acc.out_hits == [2, 0, 1]
+
+    def test_eq2_weighted_sum(self):
+        acc = ValueAccumulator(3)
+        acc.add_outgoing(0, 1.0)
+        acc.add_outgoing(1, 1.0)
+        acc.add_outgoing(2, 1.0)
+        # V = 1/2 + 1/4 + 1/8
+        assert math.isclose(acc.outgoing_value(), 0.875)
+
+    def test_candidate_segment_weighs_most(self):
+        near = ValueAccumulator(3)
+        near.add_outgoing(0, 1.0)
+        far = ValueAccumulator(3)
+        far.add_outgoing(2, 1.0)
+        assert near.outgoing_value() > far.outgoing_value()
+
+    def test_incoming_independent_of_outgoing(self):
+        acc = ValueAccumulator(2)
+        acc.add_incoming(0, 2.0)
+        assert acc.incoming_value() == 1.0
+        assert acc.outgoing_value() == 0.0
+
+    def test_reset_mode(self):
+        acc = ValueAccumulator(2)
+        acc.add_outgoing(0, 1.0)
+        acc.add_incoming(1, 1.0)
+        acc.rollover("reset", 0.5)
+        assert acc.outgoing_value() == 0.0
+        assert acc.incoming_value() == 0.0
+        assert acc.out_hits == [0, 0]
+
+    def test_decay_mode(self):
+        acc = ValueAccumulator(1)
+        acc.add_outgoing(0, 2.0)
+        acc.rollover("decay", 0.5)
+        assert math.isclose(acc.outgoing_value(), 0.5)  # 2.0*0.5 * w0(=0.5)
+        acc.add_outgoing(0, 2.0)
+        assert math.isclose(acc.outgoing_value(), 1.5)
+
+    def test_unknown_mode_rejected(self):
+        acc = ValueAccumulator(1)
+        with pytest.raises(ValueError):
+            acc.rollover("fade", 0.5)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            ValueAccumulator(0)

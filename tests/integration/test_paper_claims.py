@@ -1,0 +1,113 @@
+"""Integration tests: the paper's qualitative claims at small scale.
+
+These replay scaled-down ETC/APP workloads through the full stack
+(trace generator → cache substrate → policies → simulator) and assert
+the *shape* of the paper's results — who wins, in which metric.  The
+benchmark harness reproduces the full figures; these tests are the
+fast go/no-go guard.
+"""
+
+import pytest
+
+from repro._util import MIB
+from repro.sim import ExperimentSpec, run_comparison
+from repro.traces import APP, ETC, generate
+
+POLICIES = ["memcached", "psa", "pre-pama", "pama"]
+
+
+@pytest.fixture(scope="module")
+def etc_comparison():
+    trace = generate(ETC.scaled(0.15), 250_000, seed=101)
+    spec = ExperimentSpec(
+        name="integration-etc", cache_bytes=24 * MIB, slab_size=64 << 10,
+        window_gets=50_000,
+        policy_kwargs={"pama": {"value_window": 50_000},
+                       "pre-pama": {"value_window": 50_000},
+                       "psa": {"m_misses": 500}})
+    return run_comparison(trace, spec, POLICIES)
+
+
+class TestEtcShape:
+    def test_reallocation_beats_static_on_hit_ratio(self, etc_comparison):
+        """Fig 5: original Memcached has the lowest hit ratio."""
+        results = etc_comparison.results
+        static = results["memcached"].hit_ratio
+        for name in ("psa", "pre-pama", "pama"):
+            assert results[name].hit_ratio > static - 0.01, name
+
+    def test_prepama_tops_hit_ratio(self, etc_comparison):
+        """Fig 5: pre-PAMA achieves the highest hit ratios."""
+        results = etc_comparison.results
+        best = max(r.hit_ratio for r in results.values())
+        assert results["pre-pama"].hit_ratio >= best - 0.015
+
+    def test_pama_wins_service_time(self, etc_comparison):
+        """Fig 6: PAMA achieves the shortest service time."""
+        results = etc_comparison.results
+        pama = results["pama"].avg_service_time
+        for name in ("memcached", "psa", "pre-pama"):
+            assert pama <= results[name].avg_service_time * 1.02, name
+
+    def test_pama_clearly_beats_static(self, etc_comparison):
+        """Fig 6: the PAMA vs Memcached gap is substantial."""
+        results = etc_comparison.results
+        assert (results["pama"].avg_service_time
+                < 0.95 * results["memcached"].avg_service_time)
+
+    def test_migrations_happen_only_in_reallocating_schemes(
+            self, etc_comparison):
+        results = etc_comparison.results
+        assert results["memcached"].cache_stats["migrations"] == 0
+        for name in ("psa", "pama"):
+            assert results[name].cache_stats["migrations"] > 0, name
+
+
+class TestAppRepeatShape:
+    @pytest.fixture(scope="class")
+    def app_comparison(self):
+        trace = generate(APP.scaled(0.1), 120_000, seed=55).repeat(2)
+        spec = ExperimentSpec(
+            name="integration-app", cache_bytes=48 * MIB,
+            slab_size=64 << 10, window_gets=40_000,
+            policy_kwargs={"pama": {"value_window": 50_000},
+                           "pre-pama": {"value_window": 50_000},
+                           "psa": {"m_misses": 500}})
+        return run_comparison(trace, spec, POLICIES)
+
+    def test_second_pass_improves_hit_ratio(self, app_comparison):
+        """Fig 7: cold misses vanish when the trace repeats."""
+        for name, result in app_comparison.results.items():
+            windows = result.windows
+            half = len(windows) // 2
+            first = sum(w.hits for w in windows[:half]) / max(
+                sum(w.gets for w in windows[:half]), 1)
+            second = sum(w.hits for w in windows[half:]) / max(
+                sum(w.gets for w in windows[half:]), 1)
+            assert second > first, name
+
+    def test_pama_service_time_advantage_on_app(self, app_comparison):
+        """Fig 8: PAMA's service time leads on APP too."""
+        results = app_comparison.results
+        pama = results["pama"].avg_service_time
+        assert pama <= results["psa"].avg_service_time * 1.05
+        assert pama <= results["memcached"].avg_service_time
+
+
+class TestPamaAllocationShape:
+    def test_allocation_more_even_than_psa(self):
+        """Fig 3: PSA funnels slabs to the hottest class; PAMA spreads."""
+        trace = generate(ETC.scaled(0.15), 200_000, seed=77)
+        spec = ExperimentSpec(
+            name="fig3-shape", cache_bytes=24 * MIB, slab_size=64 << 10,
+            window_gets=50_000,
+            policy_kwargs={"pama": {"value_window": 50_000},
+                           "psa": {"m_misses": 300}})
+        cmp = run_comparison(trace, spec, ["psa", "pama"])
+
+        def top_class_share(result):
+            dist = result.final_class_slabs
+            return max(dist.values()) / sum(dist.values())
+
+        assert (top_class_share(cmp.results["pama"])
+                <= top_class_share(cmp.results["psa"]) + 0.02)

@@ -1,0 +1,45 @@
+"""Tests for the original-Memcached (static) policy."""
+
+from repro.cache import SlabCache, SizeClassConfig
+from repro.policies import StaticMemcachedPolicy
+
+
+def static_cache(slabs=4):
+    classes = SizeClassConfig(slab_size=4096, base_size=64)
+    return SlabCache(slabs * 4096, StaticMemcachedPolicy(), classes)
+
+
+class TestStaticPolicy:
+    def test_never_migrates(self):
+        cache = static_cache(slabs=4)
+        per_slab = 4096 // 64
+        # class 0 grabs all four slabs during warm-up
+        for i in range(4 * per_slab):
+            cache.set(i, 8, 50, 0.1)
+        assert cache.pool.free == 0
+        # heavy pressure on another class cannot steal a slab
+        for i in range(50):
+            cache.set(("big", i), 8, 3000, 0.1)
+        assert cache.stats.migrations == 0
+        assert cache.stats.set_failures == 50
+        assert cache.class_slab_distribution() == {0: 4}
+
+    def test_allocation_frozen_after_warmup(self):
+        cache = static_cache(slabs=4)
+        cache.set("small", 8, 50, 0.1)
+        cache.set("large", 8, 3000, 0.1)
+        dist_before = cache.class_slab_distribution()
+        # churn within existing classes only
+        for i in range(500):
+            cache.set(i, 8, 50, 0.1)
+            cache.set(("l", i), 8, 3000, 0.1)
+        assert cache.class_slab_distribution().keys() == dist_before.keys()
+        cache.check_invariants()
+
+    def test_evicts_lru_within_class(self):
+        cache = static_cache(slabs=1)
+        per_slab = 4096 // 64
+        for i in range(per_slab + 1):
+            cache.set(i, 8, 50, 0.1)
+        assert 0 not in cache
+        assert 1 in cache

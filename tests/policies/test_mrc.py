@@ -1,0 +1,120 @@
+"""Tests for the reuse-distance profiler substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.policies.mrc import DistanceHistogram, FenwickTree, ReuseDistanceProfiler
+
+
+class TestFenwickTree:
+    def test_prefix_sums(self):
+        t = FenwickTree(10)
+        t.add(0, 1)
+        t.add(5, 2)
+        t.add(9, 3)
+        assert t.prefix_sum(-1) == 0
+        assert t.prefix_sum(0) == 1
+        assert t.prefix_sum(4) == 1
+        assert t.prefix_sum(5) == 3
+        assert t.prefix_sum(9) == 6
+
+    def test_range_sum(self):
+        t = FenwickTree(8)
+        for i in range(8):
+            t.add(i, 1)
+        assert t.range_sum(2, 5) == 4
+        assert t.range_sum(5, 2) == 0
+
+    def test_bounds(self):
+        t = FenwickTree(4)
+        with pytest.raises(IndexError):
+            t.add(4, 1)
+        with pytest.raises(ValueError):
+            FenwickTree(0)
+
+    @settings(max_examples=40)
+    @given(st.lists(st.tuples(st.integers(0, 31), st.integers(-2, 3)),
+                    max_size=60))
+    def test_matches_list_model(self, updates):
+        t = FenwickTree(32)
+        model = [0] * 32
+        for idx, delta in updates:
+            t.add(idx, delta)
+            model[idx] += delta
+        for q in range(32):
+            assert t.prefix_sum(q) == sum(model[: q + 1])
+
+
+class TestReuseDistanceProfiler:
+    def test_exact_when_unsampled(self):
+        p = ReuseDistanceProfiler(sample_shift=0)
+        assert p.record(1) is None  # cold
+        assert p.record(2) is None
+        assert p.record(3) is None
+        # stack: 3 2 1 — re-access of 1 has 2 distinct keys in between
+        assert p.record(1) == 2
+        # now 1 is MRU: immediate re-access distance 0
+        assert p.record(1) == 0
+
+    def test_sampling_scales_distance(self):
+        p = ReuseDistanceProfiler(sample_shift=3)
+        assert p.scale == 8
+        # find two sampled keys
+        sampled = [k for k in range(4000) if p.sampled(k)][:2]
+        assert len(sampled) == 2
+        a, b = sampled
+        p.record(a)
+        p.record(b)
+        d = p.record(a)
+        assert d == 1 * 8  # one distinct sampled key in between, scaled
+
+    def test_forget(self):
+        p = ReuseDistanceProfiler(sample_shift=0)
+        p.record(1)
+        p.record(2)
+        p.forget(2)
+        assert p.record(1) == 0  # key 2 no longer counts
+
+    def test_compaction_preserves_distances(self):
+        p = ReuseDistanceProfiler(sample_shift=0, capacity=64)
+        for i in range(60):
+            p.record(i)
+        # trigger compaction by exceeding capacity
+        for i in range(10):
+            p.record(100 + i)
+        assert p.rebuilds >= 1
+        # key 59 was accessed before keys 100..109 → distance 10
+        assert p.record(59) == 10
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ReuseDistanceProfiler(sample_shift=-1)
+        with pytest.raises(ValueError):
+            ReuseDistanceProfiler(capacity=1)
+
+
+class TestDistanceHistogram:
+    def test_cold_counted(self):
+        h = DistanceHistogram()
+        h.add(None)
+        h.add(5)
+        assert h.cold == 1 and h.total == 2
+
+    def test_hits_within_monotone(self):
+        h = DistanceHistogram()
+        for d in (1, 2, 4, 8, 100, 1000):
+            h.add(d)
+        prev = 0.0
+        for limit in (1, 2, 5, 10, 200, 10_000):
+            cur = h.hits_within(limit)
+            assert cur >= prev
+            prev = cur
+        assert h.hits_within(10_000) == 6.0
+        assert h.hits_within(0) == 0.0
+
+    def test_decay(self):
+        h = DistanceHistogram()
+        for _ in range(10):
+            h.add(4)
+        h.decay(0.5)
+        assert h.hits_within(100) == 5.0

@@ -1,0 +1,61 @@
+"""Tests for the policy registry and the base-policy contract."""
+
+import pytest
+
+from repro.cache import SlabCache, SizeClassConfig
+from repro.cache.errors import PolicyError
+from repro.core import PamaPolicy, PrePamaPolicy
+from repro.policies import POLICY_NAMES, AllocationPolicy, make_policy
+from repro.policies.base import default_donor
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_all_names_construct(self, name):
+        policy = make_policy(name)
+        assert policy.name in (name, "pre-pama")
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("nonsense")
+
+    def test_kwargs_forwarded(self):
+        policy = make_policy("psa", m_misses=77)
+        assert policy.m_misses == 77
+
+    def test_pama_kwargs_build_config(self):
+        policy = make_policy("pama", m=4, value_window=999)
+        assert policy.config.m == 4
+        assert policy.config.value_window == 999
+
+    def test_prepama_aliases(self):
+        assert isinstance(make_policy("prepama"), PrePamaPolicy)
+        assert isinstance(make_policy("pre-pama"), PrePamaPolicy)
+
+
+class TestPolicyContract:
+    def test_double_attach_rejected(self):
+        classes = SizeClassConfig(slab_size=4096, base_size=64)
+        policy = make_policy("memcached")
+        SlabCache(4 * 4096, policy, classes)
+        with pytest.raises(PolicyError):
+            SlabCache(4 * 4096, policy, classes)
+
+    def test_default_donor_prefers_free_slots(self):
+        classes = SizeClassConfig(slab_size=4096, base_size=64)
+        cache = SlabCache(4 * 4096, make_policy("memcached"), classes)
+        cache.set("a", 8, 50, 0.1)     # class 0: 1 slab, mostly free
+        cache.set("b", 8, 3000, 0.1)   # big class: 1 slab, 1/1 used
+        requester = cache.queue_for(2, 0)
+        donor = default_donor(cache, requester)
+        assert donor is cache.queues[(0, 0)]
+
+    def test_default_donor_none_when_no_slabs(self):
+        classes = SizeClassConfig(slab_size=4096, base_size=64)
+        cache = SlabCache(4 * 4096, make_policy("memcached"), classes)
+        requester = cache.queue_for(0, 0)
+        assert default_donor(cache, requester) is None
+
+    def test_policy_names_unique(self):
+        names = [make_policy(n).name for n in POLICY_NAMES]
+        assert len(set(names)) == len(POLICY_NAMES)

@@ -1,0 +1,63 @@
+"""Tests for the memcached text-protocol parser and formatters."""
+
+import pytest
+
+from repro.server import protocol as p
+
+
+class TestParseCommand:
+    def test_set(self):
+        cmd = p.parse_command(b"set mykey 100000 0 5")
+        assert isinstance(cmd, p.SetCommand)
+        assert cmd.key == "mykey" and cmd.nbytes == 5
+        assert cmd.penalty == pytest.approx(0.1)  # flags are microseconds
+        assert not cmd.noreply
+
+    def test_set_noreply(self):
+        cmd = p.parse_command(b"set k 0 0 3 noreply")
+        assert cmd.noreply
+
+    def test_get_multi(self):
+        cmd = p.parse_command(b"get a b c")
+        assert isinstance(cmd, p.GetCommand)
+        assert cmd.keys == ("a", "b", "c")
+
+    def test_gets_alias(self):
+        assert isinstance(p.parse_command(b"gets a"), p.GetCommand)
+
+    def test_delete(self):
+        cmd = p.parse_command(b"delete k")
+        assert isinstance(cmd, p.DeleteCommand) and not cmd.noreply
+
+    def test_admin_commands(self):
+        assert isinstance(p.parse_command(b"stats"), p.StatsCommand)
+        assert isinstance(p.parse_command(b"version"), p.VersionCommand)
+        assert isinstance(p.parse_command(b"quit"), p.QuitCommand)
+
+    @pytest.mark.parametrize("line", [
+        b"", b"bogus x", b"set k 0 0", b"set k a b c", b"set k 0 0 -1",
+        b"set k 0 0 5 extra", b"get", b"delete", b"delete k banana",
+        b"set " + b"k" * 300 + b" 0 0 1",
+        b"\xff\xfe invalid utf8",
+    ])
+    def test_malformed(self, line):
+        with pytest.raises(p.ProtocolError):
+            p.parse_command(line)
+
+
+class TestFormatting:
+    def test_value_block(self):
+        out = p.format_value("k", 7, b"abc")
+        assert out == b"VALUE k 7 3\r\nabc\r\n"
+
+    def test_stats(self):
+        out = p.format_stats({"b": 1, "a": 2})
+        assert out == b"STAT a 2\r\nSTAT b 1\r\nEND\r\n"
+
+    def test_simple_responses(self):
+        assert p.format_stored() == b"STORED\r\n"
+        assert p.format_not_stored() == b"NOT_STORED\r\n"
+        assert p.format_deleted(True) == b"DELETED\r\n"
+        assert p.format_deleted(False) == b"NOT_FOUND\r\n"
+        assert p.format_error("x").startswith(b"CLIENT_ERROR")
+        assert p.format_version("v1") == b"VERSION v1\r\n"

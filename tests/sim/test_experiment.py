@@ -1,0 +1,66 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro._util import MIB
+from repro.sim import ExperimentSpec, run_comparison, sweep_cache_sizes
+from repro.traces import ETC, generate
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate(ETC.scaled(0.02), 20_000, seed=4)
+
+
+@pytest.fixture
+def spec():
+    return ExperimentSpec(name="t", cache_bytes=2 * MIB, slab_size=64 * 1024,
+                          window_gets=5_000,
+                          policy_kwargs={"psa": {"m_misses": 100}})
+
+
+class TestExperimentSpec:
+    def test_build_cache_applies_kwargs(self, spec):
+        cache = spec.build_cache("psa")
+        assert cache.policy.m_misses == 100
+        assert cache.pool.total == 2 * MIB // (64 * 1024)
+
+    def test_fresh_cache_per_build(self, spec):
+        a = spec.build_cache("pama")
+        b = spec.build_cache("pama")
+        assert a is not b and a.policy is not b.policy
+
+    def test_describe(self, spec):
+        assert "2.0MiB" in spec.describe()
+
+
+class TestRunComparison:
+    def test_all_policies_run(self, trace, spec):
+        cmp = run_comparison(trace, spec, ["memcached", "psa", "pama"])
+        assert set(cmp.results) == {"memcached", "psa", "pama"}
+        for r in cmp.results.values():
+            assert r.total_gets == trace.num_gets
+
+    def test_rankings(self, trace, spec):
+        cmp = run_comparison(trace, spec, ["memcached", "pama"])
+        by_service = cmp.ranking_by_service_time()
+        assert by_service[0][1] <= by_service[1][1]
+        by_hits = cmp.ranking_by_hit_ratio()
+        assert by_hits[0][1] >= by_hits[1][1]
+
+    def test_progress_callback(self, trace, spec):
+        seen = []
+        run_comparison(trace, spec, ["memcached"],
+                       progress=lambda n, r: seen.append(n))
+        assert seen == ["memcached"]
+
+
+class TestSweep:
+    def test_sweep_sizes(self, trace, spec):
+        out = sweep_cache_sizes(trace, spec, ["memcached"],
+                                [1 * MIB, 4 * MIB])
+        assert set(out) == {1 * MIB, 4 * MIB}
+        # a bigger cache can't hit less on an LRU-style workload replay
+        small = out[1 * MIB].results["memcached"].hit_ratio
+        large = out[4 * MIB].results["memcached"].hit_ratio
+        assert large >= small - 0.02

@@ -1,0 +1,60 @@
+"""Tests for the windowed metrics collector."""
+
+import pytest
+
+from repro.sim.metrics import MetricsCollector
+
+
+class TestMetricsCollector:
+    def test_window_closure(self):
+        m = MetricsCollector(window_gets=3)
+        m.record_hit(0.001)
+        m.record_miss(0.5)
+        assert len(m.windows) == 0
+        m.record_hit(0.001)
+        assert len(m.windows) == 1
+        w = m.windows[0]
+        assert w.gets == 3 and w.hits == 2 and w.misses == 1
+        assert w.hit_ratio == pytest.approx(2 / 3)
+        assert w.avg_service_time == pytest.approx((0.002 + 0.5) / 3)
+
+    def test_flush_partial_window(self):
+        m = MetricsCollector(window_gets=10)
+        m.record_hit(0.001)
+        m.flush()
+        assert len(m.windows) == 1
+        assert m.windows[0].gets == 1
+        m.flush()  # idempotent on empty
+        assert len(m.windows) == 1
+
+    def test_totals_span_windows(self):
+        m = MetricsCollector(window_gets=2)
+        for _ in range(5):
+            m.record_miss(0.1)
+        assert m.total_gets == 5
+        assert m.overall_hit_ratio == 0.0
+        assert m.overall_avg_service_time == pytest.approx(0.1)
+
+    def test_snapshot_fn_called_at_close(self):
+        calls = []
+
+        def snap():
+            calls.append(1)
+            return {0: 2}, {(0, 0): 2}
+
+        m = MetricsCollector(window_gets=1, snapshot_fn=snap)
+        m.record_hit(0.0)
+        assert calls == [1]
+        assert m.windows[0].class_slabs == {0: 2}
+        assert m.windows[0].queue_slabs == {(0, 0): 2}
+
+    def test_series_accessors(self):
+        m = MetricsCollector(window_gets=1)
+        m.record_hit(0.001)
+        m.record_miss(0.2)
+        assert m.hit_ratio_series() == [1.0, 0.0]
+        assert m.service_time_series() == pytest.approx([0.001, 0.2])
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            MetricsCollector(window_gets=0)

@@ -1,0 +1,46 @@
+"""Tests for the multi-core experiment runner."""
+
+import pytest
+
+from repro._util import MIB
+from repro.sim import ExperimentSpec, run_comparison
+from repro.sim.parallel import (default_workers, run_comparison_parallel,
+                                sweep_parallel)
+from repro.traces import ETC, generate
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate(ETC.scaled(0.02), 15_000, seed=31)
+
+
+@pytest.fixture
+def spec():
+    return ExperimentSpec(name="par", cache_bytes=2 * MIB,
+                          slab_size=64 * 1024, window_gets=5_000,
+                          policy_kwargs={"pama": {"value_window": 5_000}})
+
+
+class TestParallelRunner:
+    def test_matches_serial_results(self, trace, spec):
+        policies = ["memcached", "psa", "pama"]
+        serial = run_comparison(trace, spec, policies)
+        parallel = run_comparison_parallel(trace, spec, policies,
+                                           max_workers=2)
+        for name in policies:
+            s, p = serial.results[name], parallel.results[name]
+            assert s.hit_ratio == p.hit_ratio, name
+            assert s.avg_service_time == pytest.approx(p.avg_service_time)
+            assert s.cache_stats["migrations"] == p.cache_stats["migrations"]
+
+    def test_sweep_parallel_matches_shape(self, trace, spec):
+        sizes = [1 * MIB, 2 * MIB]
+        out = sweep_parallel(trace, spec, ["memcached", "pama"], sizes,
+                             max_workers=2)
+        assert set(out) == set(sizes)
+        for size in sizes:
+            assert set(out[size].results) == {"memcached", "pama"}
+            assert out[size].spec.cache_bytes == size
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1

@@ -1,0 +1,75 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.sim.report import ascii_chart, format_table, series_csv
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 2.5]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "long-name" in lines[3]
+        # all lines equal width
+        assert len({len(l) for l in lines}) == 1
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.00001234], [123456.7]])
+        assert "1.234e-05" in text
+        assert "1.235e+05" in text
+
+
+class TestSeriesCsv:
+    def test_shared_index(self):
+        csv = series_csv({"a": [1.0, 2.0], "b": [3.0]})
+        lines = csv.strip().splitlines()
+        assert lines[0] == "window,a,b"
+        assert lines[1] == "0,1,3"
+        assert lines[2] == "1,2,"  # ragged series padded with empty
+
+    def test_empty(self):
+        assert series_csv({}) == "window\n"
+
+
+class TestComparisonSummary:
+    def test_renders_policy_rows(self):
+        from repro._util import MIB
+        from repro.sim import ExperimentSpec, run_comparison
+        from repro.sim.report import comparison_summary
+        from repro.traces import ETC, generate
+
+        trace = generate(ETC.scaled(0.02), 4_000, seed=17)
+        spec = ExperimentSpec(name="s", cache_bytes=1 * MIB,
+                              slab_size=64 * 1024, window_gets=1_000)
+        cmp = run_comparison(trace, spec, ["memcached", "pama"])
+        text = comparison_summary(cmp.results)
+        assert "memcached" in text and "pama" in text
+        assert "avg_service_ms" in text
+        assert len(text.splitlines()) == 4
+
+
+class TestAsciiChart:
+    def test_renders_series_and_legend(self):
+        chart = ascii_chart({"up": [0, 1, 2, 3], "down": [3, 2, 1, 0]},
+                            width=20, height=5, title="test chart")
+        assert "test chart" in chart
+        assert "A=up" in chart and "B=down" in chart
+        assert "A" in chart and "B" in chart
+
+    def test_flat_series_no_crash(self):
+        chart = ascii_chart({"flat": [1.0, 1.0, 1.0]}, width=10, height=4)
+        assert "A=flat" in chart
+
+    def test_empty(self):
+        assert ascii_chart({}) == "(no data)"
+        assert ascii_chart({"x": []}) == "(no data)"
+
+    def test_nan_skipped(self):
+        chart = ascii_chart({"x": [1.0, float("nan"), 2.0]}, width=10,
+                            height=4)
+        assert "A=x" in chart

@@ -1,0 +1,86 @@
+"""Tests for the repro-kv CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerateAnalyze:
+    def test_generate_npz_and_analyze(self, tmp_path, capsys):
+        out = tmp_path / "trace.npz"
+        assert main(["generate", "--workload", "etc", "--requests", "3000",
+                     "--scale", "0.02", "--out", str(out)]) == 0
+        assert out.exists()
+        captured = capsys.readouterr().out
+        assert "3000 requests" in captured
+
+        assert main(["analyze", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "unique keys" in captured
+        assert "size bucket" in captured
+
+    def test_generate_csv(self, tmp_path):
+        out = tmp_path / "trace.csv"
+        assert main(["generate", "--requests", "500", "--scale", "0.02",
+                     "--out", str(out)]) == 0
+        header = out.read_text().splitlines()[0]
+        assert header == "op,key,key_size,value_size,penalty,timestamp"
+
+
+class TestSimulate:
+    def test_simulate_synthesized(self, capsys):
+        assert main(["simulate", "--requests", "5000", "--scale", "0.02",
+                     "--cache-size", "2MiB", "--slab-size", "64KiB",
+                     "--policy", "pama", "--window", "1000",
+                     "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "hit ratio" in out
+        assert "hit ratio per window" in out
+
+    def test_simulate_from_file(self, tmp_path, capsys):
+        path = tmp_path / "t.npz"
+        main(["generate", "--requests", "2000", "--scale", "0.02",
+              "--out", str(path)])
+        capsys.readouterr()
+        assert main(["simulate", "--trace", str(path),
+                     "--cache-size", "1MiB", "--slab-size", "64KiB",
+                     "--policy", "memcached"]) == 0
+        assert "memcached" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_compare_policies(self, capsys):
+        assert main(["compare", "--requests", "5000", "--scale", "0.02",
+                     "--cache-size", "2MiB", "--slab-size", "64KiB",
+                     "--policies", "memcached,pama", "--window", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "memcached" in out and "pama" in out
+        assert "hit_ratio" in out
+
+    def test_unknown_policy_rejected(self, capsys):
+        assert main(["compare", "--requests", "100", "--scale", "0.02",
+                     "--policies", "bogus"]) == 2
+
+
+class TestCluster:
+    def test_cluster_comparison(self, capsys):
+        assert main(["cluster", "--requests", "5000", "--scale", "0.02",
+                     "--cache-size", "2MiB", "--slab-size", "64KiB",
+                     "--nodes", "1,2", "--window", "1000",
+                     "--policy", "pama"]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out and "hit_ratio" in out
+        assert out.count("MiB") >= 2
+
+    def test_cluster_skips_undersized_nodes(self, capsys):
+        assert main(["cluster", "--requests", "1000", "--scale", "0.02",
+                     "--cache-size", "128KiB", "--slab-size", "64KiB",
+                     "--nodes", "1,64", "--window", "1000"]) == 0
+        err = capsys.readouterr().err
+        assert "skipping 64 nodes" in err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,57 @@
+"""Tests for shared helpers."""
+
+import pytest
+
+from repro._util import (GIB, KIB, MIB, fmt_bytes, fmt_seconds, next_pow2,
+                         parse_size)
+
+
+class TestFmtBytes:
+    def test_units(self):
+        assert fmt_bytes(0) == "0B"
+        assert fmt_bytes(512) == "512B"
+        assert fmt_bytes(2 * KIB) == "2.0KiB"
+        assert fmt_bytes(3 * MIB) == "3.0MiB"
+        assert fmt_bytes(4 * GIB) == "4.0GiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fmt_bytes(-1)
+
+
+class TestFmtSeconds:
+    def test_units(self):
+        assert fmt_seconds(0) == "0s"
+        assert fmt_seconds(5e-5) == "50.0us"
+        assert fmt_seconds(0.025) == "25.0ms"
+        assert fmt_seconds(1.5) == "1.50s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fmt_seconds(-0.1)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        ("64KiB", 64 * KIB), ("64kb", 64 * KIB), ("64k", 64 * KIB),
+        ("4GB", 4 * GIB), ("1.5MiB", int(1.5 * MIB)), ("1048576", MIB),
+        (" 2 MiB ", 2 * MIB), ("100b", 100),
+    ])
+    def test_formats(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_missing_number(self):
+        with pytest.raises(ValueError):
+            parse_size("MiB")
+
+
+class TestNextPow2:
+    def test_values(self):
+        assert next_pow2(1) == 1
+        assert next_pow2(2) == 2
+        assert next_pow2(3) == 4
+        assert next_pow2(1025) == 2048
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            next_pow2(0)

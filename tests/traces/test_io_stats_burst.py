@@ -1,0 +1,120 @@
+"""Tests for trace I/O, statistics, and burst injection."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (ETC, Op, analyze, generate, inject_burst, iter_csv,
+                          load_csv, load_npz, save_csv, save_npz)
+from repro.traces.burst import BURST_KEY_BASE
+
+
+@pytest.fixture
+def trace():
+    return generate(ETC.scaled(0.05), 5_000, seed=9)
+
+
+class TestIO:
+    def test_npz_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_npz(trace, path)
+        loaded = load_npz(path)
+        assert len(loaded) == len(trace)
+        assert (loaded.ops == trace.ops).all()
+        assert (loaded.keys == trace.keys).all()
+        assert np.allclose(loaded.penalties, trace.penalties)
+        assert loaded.meta["workload"] == "etc"
+
+    def test_csv_roundtrip(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        small = trace.slice(0, 500)
+        save_csv(small, path)
+        loaded = load_csv(path)
+        assert len(loaded) == 500
+        assert (loaded.keys == small.keys).all()
+        assert np.allclose(loaded.penalties, small.penalties, rtol=1e-4)
+
+    def test_csv_streaming(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        save_csv(trace.slice(0, 100), path)
+        rows = list(iter_csv(path))
+        assert len(rows) == 100
+        assert rows[0].key == int(trace.keys[0])
+
+    def test_csv_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("nope,nope\n1,2\n")
+        with pytest.raises(ValueError):
+            list(iter_csv(path))
+
+    def test_csv_malformed_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("op,key,key_size,value_size,penalty,timestamp\n"
+                        "GET,notanint,16,100,0.1,0.0\n")
+        with pytest.raises(ValueError):
+            list(iter_csv(path))
+
+
+class TestStats:
+    def test_analyze_counts(self, trace):
+        stats = analyze(trace)
+        assert stats.n_requests == len(trace)
+        assert stats.n_gets + stats.n_sets + stats.n_deletes == len(trace)
+        assert stats.unique_keys == trace.unique_keys
+        assert 0 < stats.top1pct_access_share <= 1
+
+    def test_penalty_by_size_has_spread(self, trace):
+        stats = analyze(trace)
+        assert stats.penalty_by_size
+        for bucket in stats.penalty_by_size:
+            assert bucket.penalty_min <= bucket.penalty_p50 <= bucket.penalty_max
+
+    def test_format_is_printable(self, trace):
+        text = analyze(trace).format()
+        assert "requests" in text and "size bucket" in text
+
+    def test_empty_trace_rejected(self):
+        from repro.traces.record import Trace
+        empty = Trace(np.empty(0, np.uint8), np.empty(0, np.int64),
+                      np.empty(0, np.int32), np.empty(0, np.int32),
+                      np.empty(0))
+        with pytest.raises(ValueError):
+            analyze(empty)
+
+
+class TestBurst:
+    def test_burst_inserted_after_nth_get(self, trace):
+        out = inject_burst(trace, at_get=1_000, total_bytes=100_000,
+                           size_lo=256, size_hi=1_024)
+        start, end = out.meta["burst_span"]
+        # everything before the splice is the original trace
+        assert (out.keys[:start] == trace.keys[:start]).all()
+        burst_keys = out.keys[start:end]
+        assert (burst_keys >= BURST_KEY_BASE).all()
+        # GET/SET pairs per item
+        assert (out.ops[start:end:2] == Op.GET).all()
+        assert (out.ops[start + 1:end:2] == Op.SET).all()
+
+    def test_burst_total_bytes(self, trace):
+        out = inject_burst(trace, at_get=500, total_bytes=200_000,
+                           size_lo=512, size_hi=512, key_size=24)
+        assert out.meta["burst_bytes"] >= 200_000
+        assert out.meta["burst_bytes"] < 200_000 + 512 + 24 + 1
+
+    def test_set_only_burst(self, trace):
+        out = inject_burst(trace, at_get=500, total_bytes=50_000,
+                           size_lo=256, size_hi=512, with_gets=False)
+        start, end = out.meta["burst_span"]
+        assert (out.ops[start:end] == Op.SET).all()
+
+    def test_burst_beyond_trace_rejected(self, trace):
+        with pytest.raises(ValueError):
+            inject_burst(trace, at_get=10**9, total_bytes=1000,
+                         size_lo=64, size_hi=128)
+
+    def test_invalid_params(self, trace):
+        with pytest.raises(ValueError):
+            inject_burst(trace, at_get=10, total_bytes=0,
+                         size_lo=64, size_hi=128)
+        with pytest.raises(ValueError):
+            inject_burst(trace, at_get=10, total_bytes=100,
+                         size_lo=0, size_hi=128)

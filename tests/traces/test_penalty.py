@@ -1,0 +1,124 @@
+"""Tests for the penalty model and the trace-gap estimator."""
+
+import numpy as np
+import pytest
+
+from repro.traces import Op, Trace, infer_penalties
+from repro.traces.penalty import PenaltyModel, splitmix64_array, uniform01
+
+
+class TestVectorHashing:
+    def test_matches_scalar_splitmix(self):
+        from repro.bloom.hashing import splitmix64
+        keys = np.array([0, 1, 42, 2**40], dtype=np.int64)
+        out = splitmix64_array(keys, seed=0)
+        # seed=0 path: x ^ (0 * gamma) == x, so equals scalar splitmix64
+        for k, h in zip(keys.tolist(), out.tolist()):
+            assert h == splitmix64(k)
+
+    def test_uniform_range_and_determinism(self):
+        keys = np.arange(10_000, dtype=np.int64)
+        u = uniform01(keys, seed=5)
+        assert (u >= 0).all() and (u < 1).all()
+        assert (u == uniform01(keys, seed=5)).all()
+        assert abs(u.mean() - 0.5) < 0.02
+
+
+class TestPenaltyModel:
+    def test_deterministic_per_key(self):
+        m = PenaltyModel(seed=1)
+        assert m.penalty_for(5, 100) == m.penalty_for(5, 100)
+
+    def test_bounds(self):
+        m = PenaltyModel(seed=1)
+        keys = np.arange(20_000, dtype=np.int64)
+        pens = m.penalties_for(keys, np.full(20_000, 500))
+        assert pens.min() >= m.min_penalty
+        assert pens.max() <= m.cap
+
+    def test_fig1_shape_scatter_at_every_size(self):
+        """At any fixed size, penalties must span decades (Fig 1)."""
+        m = PenaltyModel(seed=2, unknown_fraction=0.0)
+        keys = np.arange(30_000, dtype=np.int64)
+        for size in (64, 1_000, 100_000):
+            pens = m.penalties_for(keys, np.full(len(keys), size))
+            assert np.percentile(pens, 99) / np.percentile(pens, 1) > 50
+
+    def test_size_correlation_direction(self):
+        m = PenaltyModel(seed=3, correlation=0.4, unknown_fraction=0.0)
+        keys = np.arange(30_000, dtype=np.int64)
+        small = m.penalties_for(keys, np.full(len(keys), 64)).mean()
+        large = m.penalties_for(keys, np.full(len(keys), 100_000)).mean()
+        assert large > small
+
+    def test_unknown_fraction_gets_default(self):
+        m = PenaltyModel(seed=4, unknown_fraction=0.3)
+        keys = np.arange(50_000, dtype=np.int64)
+        pens = m.penalties_for(keys, np.full(len(keys), 500))
+        frac = np.count_nonzero(pens == m.default_penalty) / len(pens)
+        assert abs(frac - 0.3) < 0.02
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PenaltyModel(base_penalty=0)
+        with pytest.raises(ValueError):
+            PenaltyModel(unknown_fraction=1.5)
+        with pytest.raises(ValueError):
+            PenaltyModel(cap=0.0001, min_penalty=0.001)
+
+
+def make_trace(rows):
+    """rows: (op, key, t) tuples."""
+    ops = np.array([r[0] for r in rows], dtype=np.uint8)
+    keys = np.array([r[1] for r in rows], dtype=np.int64)
+    ts = np.array([r[2] for r in rows], dtype=np.float64)
+    n = len(rows)
+    return Trace(ops, keys, np.full(n, 16, np.int32),
+                 np.full(n, 100, np.int32), np.zeros(n), ts)
+
+
+class TestInferPenalties:
+    def test_gap_measured(self):
+        trace = make_trace([
+            (Op.GET, 1, 0.0),   # cold miss
+            (Op.SET, 1, 0.8),   # fill 0.8s later -> penalty 0.8
+            (Op.GET, 1, 1.0),   # hit; inherits measured penalty
+        ])
+        pens = infer_penalties(trace)
+        assert pens[0] == pytest.approx(0.8)
+        assert pens[2] == pytest.approx(0.8)
+
+    def test_excessive_gap_discarded(self):
+        trace = make_trace([
+            (Op.GET, 1, 0.0),
+            (Op.SET, 1, 10.0),  # > 5s cap: not believable
+        ])
+        pens = infer_penalties(trace)
+        assert pens[0] == pytest.approx(0.1)  # paper's default
+
+    def test_never_set_keeps_default(self):
+        trace = make_trace([(Op.GET, 1, 0.0), (Op.GET, 2, 0.5)])
+        assert (infer_penalties(trace) == 0.1).all()
+
+    def test_delete_resets_seen(self):
+        trace = make_trace([
+            (Op.GET, 1, 0.0),
+            (Op.SET, 1, 0.2),
+            (Op.DELETE, 1, 0.5),
+            (Op.GET, 1, 1.0),   # miss again after delete
+            (Op.SET, 1, 1.6),   # second measured gap 0.6
+        ])
+        pens = infer_penalties(trace)
+        assert pens[0] == pytest.approx(0.2)
+        assert pens[3] == pytest.approx(0.6)
+
+    def test_backfill_earlier_accesses(self):
+        trace = make_trace([
+            (Op.SET, 1, 0.0),
+            (Op.GET, 1, 0.1),   # hit: penalty unknown yet -> default
+            (Op.DELETE, 1, 0.2),
+            (Op.GET, 1, 0.3),   # miss
+            (Op.SET, 1, 0.7),   # measured 0.4
+        ])
+        pens = infer_penalties(trace)
+        assert pens[1] == pytest.approx(0.4)  # back-filled

@@ -1,0 +1,99 @@
+"""Tests for the synthetic trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.traces import ETC, USR, Op, WorkloadProfile, generate
+from repro.traces.synthetic import SyntheticTraceGenerator, zipf_cdf
+
+
+class TestZipfCdf:
+    def test_shape(self):
+        cdf = zipf_cdf(100, 1.0)
+        assert len(cdf) == 100
+        assert cdf[-1] == pytest.approx(1.0)
+        assert (np.diff(cdf) > 0).all()
+
+    def test_higher_alpha_more_skew(self):
+        mild = zipf_cdf(1000, 0.5)
+        steep = zipf_cdf(1000, 1.5)
+        assert steep[0] > mild[0]  # rank-0 mass larger under steeper skew
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            zipf_cdf(0, 1.0)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate(ETC.scaled(0.05), 5_000, seed=3)
+        b = generate(ETC.scaled(0.05), 5_000, seed=3)
+        assert (a.keys == b.keys).all()
+        assert (a.ops == b.ops).all()
+        assert (a.penalties == b.penalties).all()
+
+    def test_seed_changes_trace(self):
+        a = generate(ETC.scaled(0.05), 5_000, seed=3)
+        b = generate(ETC.scaled(0.05), 5_000, seed=4)
+        assert not (a.keys == b.keys).all()
+
+    def test_operation_mix_matches_profile(self):
+        trace = generate(ETC.scaled(0.05), 40_000, seed=1)
+        get_frac = np.count_nonzero(trace.ops == Op.GET) / len(trace)
+        assert abs(get_frac - ETC.get_fraction) < 0.02
+
+    def test_sizes_respect_mixture_bounds(self):
+        trace = generate(USR.scaled(0.05), 5_000, seed=1)
+        assert set(np.unique(trace.value_sizes)) == {2}
+        assert set(np.unique(trace.key_sizes)) <= {16, 21}
+
+    def test_per_key_attributes_stable(self):
+        trace = generate(ETC.scaled(0.05), 30_000, seed=2)
+        seen: dict[int, tuple] = {}
+        for i in range(len(trace)):
+            k = int(trace.keys[i])
+            attrs = (int(trace.key_sizes[i]), int(trace.value_sizes[i]),
+                     float(trace.penalties[i]))
+            if k in seen:
+                assert seen[k] == attrs, f"key {k} changed attributes"
+            seen[k] = attrs
+
+    def test_popularity_is_skewed(self):
+        trace = generate(ETC.scaled(0.1), 50_000, seed=5)
+        _keys, counts = np.unique(trace.keys, return_counts=True)
+        counts = np.sort(counts)[::-1]
+        top_share = counts[: max(1, len(counts) // 100)].sum() / counts.sum()
+        assert top_share > 0.2  # top 1% of keys take >20% of accesses
+
+    def test_cold_keys_are_one_timers(self):
+        profile = ETC.scaled(0.05)
+        trace = generate(profile, 20_000, seed=6)
+        gen_base = SyntheticTraceGenerator.COLD_KEY_BASE
+        cold_mask = trace.keys >= gen_base
+        assert cold_mask.any()
+        cold_keys, counts = np.unique(trace.keys[cold_mask], return_counts=True)
+        assert (counts == 1).all()
+
+    def test_churn_rotates_hot_set(self):
+        profile = WorkloadProfile(name="churny", num_keys=1_000,
+                                  churn_interval=5_000, churn_fraction=0.5,
+                                  cold_fraction=0.0, get_fraction=1.0,
+                                  set_fraction=0.0)
+        gen = SyntheticTraceGenerator(profile, seed=1)
+        early = gen.generate(5_000, start_position=0)
+        late = gen.generate(5_000, start_position=50_000)
+        assert early.keys.min() < 1_000
+        assert late.keys.min() >= 1_000  # whole universe shifted
+
+    def test_timestamps_increase(self):
+        trace = generate(ETC.scaled(0.05), 2_000, seed=1)
+        assert (np.diff(trace.timestamps) > 0).all()
+
+    def test_penalties_bounded(self):
+        trace = generate(ETC.scaled(0.05), 20_000, seed=1)
+        assert trace.penalties.min() > 0
+        assert trace.penalties.max() <= 5.0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            generate(ETC, 0)

@@ -1,0 +1,94 @@
+"""Tests for the Twitter production-trace format reader."""
+
+import pytest
+
+from repro.traces import Op
+from repro.traces.twitter import (TwitterTraceError, iter_twitter_lines,
+                                  load_twitter)
+
+SAMPLE = """\
+# timestamp,key,key_size,value_size,client,op,ttl
+0.0,keyA,12,100,1,get,0
+0.5,keyA,12,100,1,set,3600
+1.0,keyB,8,50,2,get,0
+1.5,keyB,8,50,2,add,0
+2.0,keyA,12,100,3,gets,0
+2.5,keyC,10,0,1,delete,0
+3.0,keyD,9,4,4,incr,0
+"""
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    path = tmp_path / "twitter.csv"
+    path.write_text(SAMPLE)
+    return path
+
+
+class TestParsing:
+    def test_line_iterator(self):
+        rows = list(iter_twitter_lines(SAMPLE.splitlines()))
+        assert len(rows) == 7
+        ts, key, ksz, vsz, op, ttl = rows[1]
+        assert ts == 0.5 and ksz == 12 and vsz == 100
+        assert op == Op.SET and ttl == 3600
+
+    def test_op_mapping(self):
+        rows = list(iter_twitter_lines(SAMPLE.splitlines()))
+        ops = [r[4] for r in rows]
+        assert ops == [Op.GET, Op.SET, Op.GET, Op.SET, Op.GET, Op.DELETE,
+                       Op.GET]
+
+    def test_same_key_same_id(self):
+        rows = list(iter_twitter_lines(SAMPLE.splitlines()))
+        assert rows[0][1] == rows[1][1] == rows[4][1]
+        assert rows[0][1] != rows[2][1]
+
+    def test_strict_rejects_malformed(self):
+        with pytest.raises(TwitterTraceError):
+            list(iter_twitter_lines(["1.0,k,12,100,1,get"]))  # 6 fields
+        with pytest.raises(TwitterTraceError):
+            list(iter_twitter_lines(["1.0,k,12,100,1,frobnicate,0"]))
+        with pytest.raises(TwitterTraceError):
+            list(iter_twitter_lines(["abc,k,12,100,1,get,0"]))
+
+    def test_lenient_skips_malformed(self):
+        lines = ["garbage", "1.0,k,12,100,1,get,0", "2.0,k,12,x,1,get,0"]
+        rows = list(iter_twitter_lines(lines, strict=False))
+        assert len(rows) == 1
+
+
+class TestLoading:
+    def test_load_with_synthetic_penalties(self, trace_file):
+        trace = load_twitter(trace_file)
+        assert len(trace) == 7
+        assert trace.meta["workload"] == "twitter"
+        assert (trace.penalties > 0).all()
+        # same key -> same deterministic penalty
+        assert trace.penalties[0] == trace.penalties[4]
+
+    def test_load_with_inferred_penalties(self, trace_file):
+        trace = load_twitter(trace_file, infer=True)
+        # keyA: GET at 0.0 then SET at 0.5 -> measured 0.5s penalty
+        assert trace.penalties[0] == pytest.approx(0.5)
+        # keyB: GET at 1.0, add at 1.5 -> measured 0.5s
+        assert trace.penalties[2] == pytest.approx(0.5)
+
+    def test_limit(self, trace_file):
+        assert len(load_twitter(trace_file, limit=3)) == 3
+
+    def test_empty_raises(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("# nothing\n")
+        with pytest.raises(TwitterTraceError):
+            load_twitter(empty)
+
+    def test_simulates(self, trace_file):
+        from repro.cache import SlabCache, SizeClassConfig
+        from repro.core import PamaPolicy
+        from repro.sim import simulate
+        trace = load_twitter(trace_file)
+        cache = SlabCache(1 << 20, PamaPolicy(),
+                          SizeClassConfig(slab_size=64 << 10))
+        result = simulate(trace, cache, window_gets=100)
+        assert result.total_gets == 4

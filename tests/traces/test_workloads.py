@@ -1,0 +1,65 @@
+"""Tests for the workload profiles."""
+
+import pytest
+
+from repro.traces import PROFILES, SizeMixture, WorkloadProfile, get_profile
+
+
+class TestSizeMixture:
+    def test_valid(self):
+        SizeMixture(((0.5, 10, 100), (0.5, 100, 1000)))
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            SizeMixture(((0.5, 10, 100),))
+
+    def test_bad_band(self):
+        with pytest.raises(ValueError):
+            SizeMixture(((1.0, 100, 10),))
+        with pytest.raises(ValueError):
+            SizeMixture(((1.0, 0, 10),))
+        with pytest.raises(ValueError):
+            SizeMixture(())
+
+
+class TestWorkloadProfile:
+    def test_five_facebook_pools_defined(self):
+        assert set(PROFILES) == {"etc", "app", "usr", "sys", "var"}
+
+    def test_get_profile_case_insensitive(self):
+        assert get_profile("ETC").name == "etc"
+        with pytest.raises(ValueError):
+            get_profile("nope")
+
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", num_keys=10, get_fraction=0.5,
+                            set_fraction=0.2)
+
+    def test_usr_has_fixed_sizes(self):
+        usr = get_profile("usr")
+        assert usr.value_sizes.bands == ((1.0, 2, 2),)
+        key_sizes = {band[1] for band in usr.key_sizes.bands}
+        assert key_sizes == {16, 21}
+
+    def test_var_is_update_dominated(self):
+        var = get_profile("var")
+        assert var.set_fraction > var.get_fraction
+
+    def test_app_has_high_cold_fraction(self):
+        # APP's defining trait in the paper: ~40% of misses are cold
+        assert get_profile("app").cold_fraction > get_profile("etc").cold_fraction
+
+    def test_scaled(self):
+        etc = get_profile("etc")
+        half = etc.scaled(0.5)
+        assert half.num_keys == etc.num_keys // 2
+        assert half.zipf_alpha == etc.zipf_alpha
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", num_keys=0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", num_keys=10, zipf_alpha=0.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", num_keys=10, cold_fraction=1.0)
