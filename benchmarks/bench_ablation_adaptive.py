@@ -20,7 +20,8 @@ cost, rather than claiming a win for it.
 
 from dataclasses import replace as dc_replace
 
-from benchmarks.conftest import ETC_SCALE, SEED, base_spec, write_csv
+from benchmarks.conftest import (BENCH_JOBS, ETC_SCALE, SEED, base_spec,
+                                 write_csv)
 from repro._util import MIB
 from repro.sim import run_comparison
 from repro.sim.report import format_table
@@ -59,8 +60,10 @@ def bench_ablation_adaptive(benchmark, etc_trace, capsys):
     clustered = clustered_trace()
 
     def run_both():
-        return (run_comparison(etc_trace, _spec(), POLICIES),
-                run_comparison(clustered, _spec(), POLICIES))
+        return (run_comparison(etc_trace, _spec(), POLICIES,
+                               jobs=BENCH_JOBS),
+                run_comparison(clustered, _spec(), POLICIES,
+                               jobs=BENCH_JOBS))
 
     broad, narrow = benchmark.pedantic(run_both, rounds=1, iterations=1)
 

@@ -8,7 +8,7 @@ optimisation).  This bench runs all eight schemes on the same ETC
 replay to verify each criticism empirically.
 """
 
-from benchmarks.conftest import base_spec, run_single, write_csv
+from benchmarks.conftest import BENCH_JOBS, base_spec, run_single, write_csv
 from repro._util import MIB
 from repro.sim import run_comparison
 from repro.sim.report import format_table
@@ -22,7 +22,7 @@ def bench_ablation_baselines(benchmark, etc_trace, capsys):
     benchmark.pedantic(lambda: run_single(etc_trace, "lama", CACHE),
                        rounds=1, iterations=1)
     cmp = run_comparison(etc_trace, base_spec("baselines", CACHE),
-                         ALL_POLICIES)
+                         ALL_POLICIES, jobs=BENCH_JOBS)
 
     rows = [[name, r.hit_ratio, r.avg_service_time * 1e3,
              r.cache_stats["migrations"], r.cache_stats["evictions"]]

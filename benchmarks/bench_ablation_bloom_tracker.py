@@ -9,7 +9,7 @@ and the bookkeeping overhead of each variant.
 
 from dataclasses import replace
 
-from benchmarks.conftest import base_spec, write_csv
+from benchmarks.conftest import BENCH_JOBS, base_spec, write_csv
 from repro._util import MIB
 from repro.sim import run_comparison
 from repro.sim.report import format_table
@@ -21,7 +21,8 @@ def _run(trace, tracker):
     spec = base_spec(f"ablation-{tracker}", CACHE)
     spec = replace(spec, policy_kwargs={
         "pama": {"tracker": tracker, "value_window": 50_000}})
-    return run_comparison(trace, spec, ["pama"]).results["pama"]
+    return run_comparison(trace, spec, ["pama"],
+                          jobs=BENCH_JOBS).results["pama"]
 
 
 def bench_ablation_bloom_tracker(benchmark, etc_trace, capsys):

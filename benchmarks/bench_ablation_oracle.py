@@ -30,8 +30,11 @@ def bench_ablation_oracle(benchmark, etc_trace, capsys):
         "oracle-cost": {"trace": etc_trace},
     })
 
+    # jobs=1 on purpose: the oracle policies carry the trace inside
+    # policy_kwargs, which a worker pool would re-pickle per task —
+    # exactly what the shared-memory transport exists to avoid.
     cmp = benchmark.pedantic(
-        lambda: run_comparison(etc_trace, spec, POLICIES),
+        lambda: run_comparison(etc_trace, spec, POLICIES, jobs=1),
         rounds=1, iterations=1)
 
     rows = [[name, r.hit_ratio, r.avg_service_time * 1e3,

@@ -10,29 +10,33 @@ decay at or near the best.
 
 from dataclasses import replace
 
-from benchmarks.conftest import base_spec, write_csv
+from benchmarks.conftest import BENCH_JOBS, base_spec, write_csv
 from repro._util import MIB
-from repro.sim import run_comparison
+from repro.sim import run_grid
 from repro.sim.report import format_table
 
 CACHE = 16 * MIB
 WINDOWS = (10_000, 50_000, 200_000)
+VARIANTS = [(mode, window) for mode in ("decay", "reset")
+            for window in WINDOWS]
 
 
-def _run(trace, mode, window):
-    spec = base_spec(f"win-{mode}-{window}", CACHE)
-    spec = replace(spec, policy_kwargs={
-        "pama": {"window_mode": mode, "value_window": window}})
-    return run_comparison(trace, spec, ["pama"]).results["pama"]
+def _specs():
+    return [replace(base_spec(f"win-{mode}-{window}", CACHE),
+                    policy_kwargs={"pama": {"window_mode": mode,
+                                            "value_window": window}})
+            for mode, window in VARIANTS]
 
 
 def bench_ablation_window(benchmark, etc_trace, capsys):
     results = {}
 
     def sweep():
-        for mode in ("decay", "reset"):
-            for window in WINDOWS:
-                results[(mode, window)] = _run(etc_trace, mode, window)
+        specs = _specs()
+        grid = run_grid(etc_trace, specs, ["pama"], jobs=BENCH_JOBS)
+        grid.raise_failures()
+        results.update({variant: grid.results[(spec.name, "pama")]
+                        for variant, spec in zip(VARIANTS, specs)})
         return results
 
     benchmark.pedantic(sweep, rounds=1, iterations=1)

@@ -7,9 +7,9 @@ smaller scale), so the moderate default m=2 is the right choice.
 
 from dataclasses import replace
 
-from benchmarks.conftest import base_spec, write_csv
+from benchmarks.conftest import BENCH_JOBS, base_spec, write_csv
 from repro._util import MIB
-from repro.sim import run_comparison
+from repro.sim import run_grid
 from repro.sim.report import format_table, series_csv
 from repro.traces import APP, ETC, generate
 
@@ -17,13 +17,14 @@ M_VALUES = (0, 2, 4, 8)
 
 
 def _sweep_m(trace, cache_bytes):
-    results = {}
-    for m in M_VALUES:
-        spec = base_spec(f"fig10-m{m}", cache_bytes)
-        spec = replace(spec, policy_kwargs={
-            "pama": {"m": m, "value_window": 50_000}})
-        results[m] = run_comparison(trace, spec, ["pama"]).results["pama"]
-    return results
+    """The m-axis as one parallel grid: one spec per segment count."""
+    specs = [replace(base_spec(f"fig10-m{m}", cache_bytes),
+                     policy_kwargs={"pama": {"m": m, "value_window": 50_000}})
+             for m in M_VALUES]
+    grid = run_grid(trace, specs, ["pama"], jobs=BENCH_JOBS)
+    grid.raise_failures()
+    return {m: grid.results[(spec.name, "pama")]
+            for m, spec in zip(M_VALUES, specs)}
 
 
 def bench_fig10(benchmark, app_trace, capsys):

@@ -22,6 +22,11 @@ from repro._util import MIB
 from repro.sim import ExperimentSpec, run_comparison, sweep_cache_sizes
 from repro.traces import APP, ETC, generate
 
+# Worker processes for the figure sweeps; the merged results are
+# identical at any job count (run_grid's determinism), so this only
+# moves wall-clock.  0 = one worker per spare core.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1")) or None
+
 # -- scale constants ---------------------------------------------------------
 
 ETC_SCALE = 0.5           # ~150k warm keys
@@ -84,14 +89,16 @@ def app_trace():
 def etc_sweep(etc_trace):
     """Figs 3/5/6 data: ETC × {policies} × {cache sizes}."""
     return sweep_cache_sizes(etc_trace, base_spec("etc", ETC_CACHE_SIZES[0]),
-                             PAPER_POLICIES, ETC_CACHE_SIZES)
+                             PAPER_POLICIES, ETC_CACHE_SIZES,
+                             jobs=BENCH_JOBS)
 
 
 @pytest.fixture(scope="session")
 def app_sweep(app_trace):
     """Figs 7/8 data: APP × {policies} × {cache sizes}."""
     return sweep_cache_sizes(app_trace, base_spec("app", APP_CACHE_SIZES[0]),
-                             PAPER_POLICIES, APP_CACHE_SIZES)
+                             PAPER_POLICIES, APP_CACHE_SIZES,
+                             jobs=BENCH_JOBS)
 
 
 def run_single(trace, policy: str, cache_bytes: int):

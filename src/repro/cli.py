@@ -17,6 +17,7 @@ import sys
 from repro._util import fmt_bytes, fmt_seconds, parse_size
 from repro.policies import POLICY_NAMES
 from repro.sim.experiment import ExperimentSpec, run_comparison
+from repro.sim.parallel import run_grid, size_specs
 from repro.sim.report import ascii_chart, comparison_summary
 from repro.traces import analyze as analyze_trace
 from repro.traces import (generate as generate_trace, get_profile, load_csv,
@@ -51,12 +52,19 @@ def _add_trace_args(sub: argparse.ArgumentParser) -> None:
 
 def _add_cache_args(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--cache-size", default="64MiB",
-                     help="total cache memory (e.g. 64MiB, 1GiB)")
+                     help="total cache memory (e.g. 64MiB, 1GiB); "
+                          "`simulate` accepts a comma-separated list")
     sub.add_argument("--slab-size", default="64KiB", help="slab size")
     sub.add_argument("--window", type=int, default=50_000,
                      help="GETs per metrics window")
     sub.add_argument("--hit-time", type=float, default=1e-4,
                      help="service time of a hit, seconds")
+
+
+def _add_jobs_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--jobs", type=int, default=1,
+                     help="worker processes for independent replays "
+                          "(0 = one per spare core; 1 = serial)")
 
 
 def cmd_generate(args) -> int:
@@ -81,25 +89,33 @@ def cmd_analyze(args) -> int:
 
 def cmd_simulate(args) -> int:
     trace = _trace_from_args(args)
-    spec = ExperimentSpec(name="cli", cache_bytes=parse_size(args.cache_size),
+    sizes = [parse_size(s) for s in
+             (part.strip() for part in args.cache_size.split(","))
+             if s]
+    if not sizes:
+        raise SystemExit("--cache-size needs at least one size")
+    base = ExperimentSpec(name="cli", cache_bytes=sizes[0],
                           slab_size=parse_size(args.slab_size),
                           hit_time=args.hit_time, window_gets=args.window)
-    cache = spec.build_cache(args.policy)
-    from repro.sim.simulator import simulate
-    result = simulate(trace, cache, hit_time=args.hit_time,
-                      window_gets=args.window)
-    print(f"policy           {result.policy}")
-    print(f"cache            {fmt_bytes(spec.cache_bytes)} "
-          f"({spec.cache_bytes // spec.slab_size} slabs)")
-    print(f"GETs             {result.total_gets}")
-    print(f"hit ratio        {result.hit_ratio:.4f}")
-    print(f"avg service time {fmt_seconds(result.avg_service_time)}")
-    print(f"evictions        {result.cache_stats['evictions']:.0f}")
-    print(f"migrations       {result.cache_stats['migrations']:.0f}")
-    if args.chart and result.windows:
-        print()
-        print(ascii_chart({"hit_ratio": result.hit_ratio_series()},
-                          title="hit ratio per window"))
+    specs = size_specs(base, sizes) if len(sizes) > 1 else [base]
+    grid = run_grid(trace, specs, [args.policy], jobs=args.jobs or None)
+    grid.raise_failures()
+    for i, spec in enumerate(specs):
+        result = grid.results[(spec.name, args.policy)]
+        if i:
+            print()
+        print(f"policy           {result.policy}")
+        print(f"cache            {fmt_bytes(spec.cache_bytes)} "
+              f"({spec.cache_bytes // spec.slab_size} slabs)")
+        print(f"GETs             {result.total_gets}")
+        print(f"hit ratio        {result.hit_ratio:.4f}")
+        print(f"avg service time {fmt_seconds(result.avg_service_time)}")
+        print(f"evictions        {result.cache_stats['evictions']:.0f}")
+        print(f"migrations       {result.cache_stats['migrations']:.0f}")
+        if args.chart and result.windows:
+            print()
+            print(ascii_chart({"hit_ratio": result.hit_ratio_series()},
+                              title="hit ratio per window"))
     return 0
 
 
@@ -114,7 +130,8 @@ def cmd_compare(args) -> int:
     spec = ExperimentSpec(name="cli", cache_bytes=parse_size(args.cache_size),
                           slab_size=parse_size(args.slab_size),
                           hit_time=args.hit_time, window_gets=args.window)
-    cmp = run_comparison(trace, spec, policies, verbose=args.verbose)
+    cmp = run_comparison(trace, spec, policies, verbose=args.verbose,
+                         jobs=args.jobs or None)
     print(comparison_summary(cmp.results))
     if args.chart:
         print()
@@ -196,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     s = subs.add_parser("simulate", help="replay under one policy")
     _add_trace_args(s)
     _add_cache_args(s)
+    _add_jobs_arg(s)
     s.add_argument("--policy", default="pama", choices=POLICY_NAMES)
     s.add_argument("--chart", action="store_true", help="ASCII chart output")
     s.set_defaults(func=cmd_simulate)
@@ -203,6 +221,7 @@ def build_parser() -> argparse.ArgumentParser:
     c = subs.add_parser("compare", help="replay under several policies")
     _add_trace_args(c)
     _add_cache_args(c)
+    _add_jobs_arg(c)
     c.add_argument("--policies", default="memcached,psa,pre-pama,pama")
     c.add_argument("--chart", action="store_true")
     c.add_argument("--verbose", action="store_true")

@@ -110,10 +110,13 @@ class PamaPolicy(AllocationPolicy):
         state = self.ghost_owner.get(key)
         if state is None:
             return
+        # ghost_owner and the per-queue ghosts are kept in lockstep by
+        # on_evict/on_insert/on_remove (see check_ghost_sync, which the
+        # property tests drive); an owner entry without a ghost entry
+        # would silently drop incoming value, so fail loudly instead.
         entry = state.ghost.lookup(key)
-        if entry is None:  # pragma: no cover - ghost_owner is kept in sync
-            del self.ghost_owner[key]
-            return
+        assert entry is not None, \
+            f"ghost_owner has {key!r} but its ghost list does not"
         # Use the penalty remembered at eviction time — "PAMA uses actual
         # miss penalties associated with each slab".
         state.values.add_incoming(entry.seg, self._contribution(entry.penalty))
@@ -138,6 +141,27 @@ class PamaPolicy(AllocationPolicy):
         state = self.ghost_owner.pop(item.key, None)
         if state is not None:
             state.ghost.remove(item.key)
+
+    # -- integrity -----------------------------------------------------
+    def check_ghost_sync(self) -> None:
+        """Audit the ghost_owner ↔ per-queue ghost list bijection.
+
+        Invariant: ``ghost_owner`` maps exactly the union of all queue
+        ghosts' keys, each to the state whose ghost holds it.  Driven by
+        the Hypothesis property tests over random op sequences.
+        """
+        ghosted: dict[object, PamaQueueState] = {}
+        for qid, state in self._states.items():
+            state.ghost.check_invariants()
+            for entry in state.ghost:
+                assert entry.key not in ghosted, (
+                    f"key {entry.key!r} in two ghosts")
+                ghosted[entry.key] = state
+        assert ghosted.keys() == self.ghost_owner.keys(), (
+            f"ghost_owner drifted: {ghosted.keys() ^ self.ghost_owner.keys()}")
+        for key, state in self.ghost_owner.items():
+            assert ghosted[key] is state, \
+                f"ghost_owner points {key!r} at the wrong queue state"
 
     # -- the allocation decision ----------------------------------------------
     def candidate_values(self) -> dict[tuple[int, int], float]:

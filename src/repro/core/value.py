@@ -62,9 +62,11 @@ class ValueAccumulator:
         elif mode == "decay":
             self.out = [v * decay for v in self.out]
             self.inc = [v * decay for v in self.inc]
-            # hit counts follow the same fade so pre-PAMA decays alike;
-            # keep them floats-as-ints by truncation.
-            self.out_hits = [int(v * decay) for v in self.out_hits]
-            self.inc_hits = [int(v * decay) for v in self.inc_hits]
+            # Hit counts follow the same fade so pre-PAMA decays alike.
+            # They stay floats: truncating to int would collapse a
+            # count of 1 to 0 and zero out count-based segment values
+            # after a few windows.
+            self.out_hits = [v * decay for v in self.out_hits]
+            self.inc_hits = [v * decay for v in self.inc_hits]
         else:
             raise ValueError(f"unknown window mode {mode!r}")

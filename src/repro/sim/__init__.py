@@ -3,7 +3,9 @@
 from repro.sim.experiment import (ComparisonResult, ExperimentSpec,
                                   run_comparison, sweep_cache_sizes)
 from repro.sim.metrics import MetricsCollector, WindowStats
-from repro.sim.parallel import run_comparison_parallel, sweep_parallel
+from repro.sim.parallel import (GridFailure, GridResult, GridTask,
+                                default_jobs, run_comparison_parallel,
+                                run_grid, size_specs, sweep_parallel)
 from repro.sim.report import (ascii_chart, comparison_summary, format_table,
                               series_csv)
 from repro.sim.service import ServiceTimeModel
@@ -15,5 +17,7 @@ __all__ = [
     "MetricsCollector", "WindowStats",
     "ExperimentSpec", "ComparisonResult", "run_comparison",
     "sweep_cache_sizes", "run_comparison_parallel", "sweep_parallel",
+    "run_grid", "GridTask", "GridResult", "GridFailure",
+    "default_jobs", "size_specs",
     "format_table", "series_csv", "ascii_chart", "comparison_summary",
 ]

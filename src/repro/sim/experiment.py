@@ -13,7 +13,7 @@ from repro._util import fmt_bytes
 from repro.cache.cache import SlabCache
 from repro.cache.sizeclasses import SizeClassConfig
 from repro.policies import make_policy
-from repro.sim.simulator import SimulationResult, simulate
+from repro.sim.simulator import SimulationResult
 from repro.traces.record import Trace
 
 
@@ -69,34 +69,48 @@ class ComparisonResult:
 
 def run_comparison(trace: Trace, spec: ExperimentSpec,
                    policies: list[str], verbose: bool = False,
-                   progress=None) -> ComparisonResult:
-    """Replay ``trace`` once per policy under identical settings."""
-    results: dict[str, SimulationResult] = {}
-    for name in policies:
-        cache = spec.build_cache(name)
-        result = simulate(trace, cache, hit_time=spec.hit_time,
-                          window_gets=spec.window_gets,
-                          fill_on_miss=spec.fill_on_miss)
-        results[name] = result
+                   progress=None, jobs: int | None = 1) -> ComparisonResult:
+    """Replay ``trace`` once per policy under identical settings.
+
+    A thin wrapper over :func:`repro.sim.parallel.run_grid` with a
+    one-spec grid; ``jobs=1`` (the default) is the exact serial replay,
+    ``jobs>1`` fans policies out over a worker pool.  Unlike the raw
+    grid API, a failed replay raises here — comparisons need every
+    policy's cell.
+    """
+    from repro.sim.parallel import run_grid  # deferred: import cycle
+
+    def on_cell(task, result, failure):
+        if result is None:
+            return
         if progress is not None:
-            progress(name, result)
+            progress(task.policy, result)
         if verbose:
-            print(f"  {name:>10s}: hit_ratio={result.hit_ratio:.3f} "
+            print(f"  {task.policy:>10s}: hit_ratio={result.hit_ratio:.3f} "
                   f"avg_service={result.avg_service_time * 1e3:.2f}ms "
                   f"({result.elapsed_seconds:.1f}s wall)")
-    return ComparisonResult(spec, results)
+
+    grid = run_grid(trace, [spec], policies, jobs=jobs, progress=on_cell)
+    grid.raise_failures()
+    return grid.comparison(spec)
 
 
 def sweep_cache_sizes(trace: Trace, base_spec: ExperimentSpec,
                       policies: list[str], cache_sizes: list[int],
-                      verbose: bool = False) -> dict[int, ComparisonResult]:
-    """Run the comparison at several cache sizes (Figs 5-8 structure)."""
-    from dataclasses import replace
-    out: dict[int, ComparisonResult] = {}
-    for size in cache_sizes:
-        spec = replace(base_spec, cache_bytes=size,
-                       name=f"{base_spec.name}@{fmt_bytes(size)}")
-        if verbose:
+                      verbose: bool = False,
+                      jobs: int | None = 1) -> dict[int, ComparisonResult]:
+    """Run the comparison at several cache sizes (Figs 5-8 structure).
+
+    The whole (size × policy) grid is one :func:`run_grid` call, so
+    ``jobs>1`` parallelizes across both axes at once.
+    """
+    from repro.sim.parallel import run_grid, size_specs  # import cycle
+
+    specs = size_specs(base_spec, cache_sizes)
+    if verbose:
+        for spec in specs:
             print(spec.describe())
-        out[size] = run_comparison(trace, spec, policies, verbose=verbose)
-    return out
+    grid = run_grid(trace, specs, policies, jobs=jobs)
+    grid.raise_failures()
+    return {size: grid.comparison(spec)
+            for size, spec in zip(cache_sizes, specs)}

@@ -1,77 +1,288 @@
-"""Multi-core experiment execution.
+"""Parallel experiment engine: fan a (spec × policy) grid over cores.
 
-A full figure sweep is (policies × cache sizes) independent replays of
-the same trace — embarrassingly parallel.  This module fans the runs
-out over a process pool; results are identical to the serial runner
-(each worker builds its own cache/policy and replays deterministically),
-so the parallel path is a drop-in for the sweep functions in
-:mod:`repro.sim.experiment`.
+Every evaluation figure is "replay one trace under several (policy,
+cache size) combinations" — embarrassingly parallel.  :func:`run_grid`
+is the one engine under all of them:
 
-Traces are NumPy-columnar and pickle efficiently; on POSIX the fork
-start method shares the trace pages copy-on-write so even multi-GB
-traces fan out cheaply.
+* the task list is the cross product of ``specs`` × ``policies`` in
+  declaration order, and the merged result is keyed in that order no
+  matter which worker finishes first (deterministic merges);
+* ``jobs=1`` replays serially in-process — the exact code path the old
+  serial runner used, so results are bit-identical to the seed;
+* ``jobs>1`` ships the trace's columnar NumPy arrays to the pool once
+  through POSIX shared memory (:class:`repro.traces.record.SharedTrace`)
+  instead of pickling them per task, then runs tasks on a
+  ``multiprocessing`` pool;
+* a task that raises (or a worker that dies) is recorded as a
+  :class:`GridFailure` on the merged result — the rest of the sweep
+  still completes and is returned.
+
+Oracle policies carry the trace inside ``spec.policy_kwargs``; that
+payload is pickled per task and defeats the shared-memory transport,
+so run those grids with ``jobs=1``.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import replace
+import traceback
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import (BrokenProcessPool,
+                                        ProcessPoolExecutor)
+from dataclasses import dataclass, field, replace
+from time import perf_counter
 
 from repro._util import fmt_bytes
 from repro.sim.experiment import ComparisonResult, ExperimentSpec
 from repro.sim.simulator import SimulationResult, simulate
-from repro.traces.record import Trace
+from repro.traces.record import (SharedTrace, Trace, TraceDescriptor,
+                                 attach_shared_trace, disable_shm_tracking)
+
+
+@dataclass(frozen=True)
+class GridTask:
+    """One cell of the experiment grid."""
+
+    index: int
+    spec: ExperimentSpec
+    policy: str
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.spec.name, self.policy)
+
+
+@dataclass(frozen=True)
+class GridFailure:
+    """A task that did not produce a result (the sweep survives it)."""
+
+    spec_name: str
+    policy: str
+    error: str
+    traceback: str = ""
+
+    def __str__(self) -> str:
+        return f"({self.spec_name}, {self.policy}): {self.error}"
+
+
+@dataclass
+class GridResult:
+    """Deterministically merged output of one :func:`run_grid` call.
+
+    ``results`` and ``failures`` are keyed by ``(spec.name, policy)``
+    in task-declaration order, independent of completion order.
+    """
+
+    tasks: list[GridTask]
+    results: dict[tuple[str, str], SimulationResult]
+    failures: dict[tuple[str, str], GridFailure] = field(default_factory=dict)
+    jobs: int = 1
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def raise_failures(self) -> None:
+        """Escalate recorded failures for callers that need all cells."""
+        if self.failures:
+            lines = "; ".join(str(f) for f in self.failures.values())
+            raise RuntimeError(f"{len(self.failures)} grid task(s) failed: "
+                               f"{lines}")
+
+    def comparison(self, spec: ExperimentSpec) -> ComparisonResult:
+        """The one-spec view the serial API returned (completed cells)."""
+        return ComparisonResult(spec, {
+            t.policy: self.results[t.key] for t in self.tasks
+            if t.spec.name == spec.name and t.key in self.results})
+
+    def comparisons(self) -> dict[str, ComparisonResult]:
+        """Per-spec comparison views, keyed by spec name in grid order."""
+        specs: dict[str, ExperimentSpec] = {}
+        for t in self.tasks:
+            specs.setdefault(t.spec.name, t.spec)
+        return {name: self.comparison(spec) for name, spec in specs.items()}
+
+
+def default_jobs() -> int:
+    """Leave one core for the parent; at least one worker."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+#: backward-compatible alias (pre-run_grid name).
+default_workers = default_jobs
 
 
 def _run_one(trace: Trace, spec: ExperimentSpec,
              policy: str) -> SimulationResult:
-    """Worker body: one policy replay (module-level for picklability)."""
+    """One grid cell — the exact replay the serial runner performs."""
     cache = spec.build_cache(policy)
     return simulate(trace, cache, hit_time=spec.hit_time,
                     window_gets=spec.window_gets,
                     fill_on_miss=spec.fill_on_miss)
 
 
-def default_workers() -> int:
-    """Leave one core for the parent; at least one worker."""
-    return max(1, (os.cpu_count() or 2) - 1)
+# -- worker-side state -------------------------------------------------------
+# One attach per worker process: the initializer rebuilds the trace from
+# the shared-memory descriptor (or adopts a directly shipped trace when
+# shared memory is unavailable) and tasks reference it by global.
+_worker_trace: Trace | None = None
+
+
+def _worker_init(payload: TraceDescriptor | Trace) -> None:
+    global _worker_trace
+    if isinstance(payload, TraceDescriptor):
+        disable_shm_tracking()
+        _worker_trace = attach_shared_trace(payload)
+    else:  # pragma: no cover - fallback transport, exercised on odd hosts
+        _worker_trace = payload
+
+
+def _worker_run(spec: ExperimentSpec, policy: str) -> SimulationResult:
+    assert _worker_trace is not None, "worker used before initialization"
+    return _run_one(_worker_trace, spec, policy)
+
+
+def _build_tasks(specs: list[ExperimentSpec],
+                 policies: list[str]) -> list[GridTask]:
+    tasks = [GridTask(i * len(policies) + j, spec, policy)
+             for i, spec in enumerate(specs)
+             for j, policy in enumerate(policies)]
+    seen: set[tuple[str, str]] = set()
+    for t in tasks:
+        if t.key in seen:
+            raise ValueError(f"duplicate grid cell {t.key}; "
+                             "spec names must be unique")
+        seen.add(t.key)
+    return tasks
+
+
+def run_grid(trace: Trace, specs: list[ExperimentSpec],
+             policies: list[str], jobs: int | None = 1,
+             progress=None) -> GridResult:
+    """Replay ``trace`` under every (spec, policy) combination.
+
+    Args:
+        trace: the workload to replay (shared across all cells).
+        specs: experiment definitions; ``spec.name`` must be unique.
+        policies: policy names, instantiated fresh per cell.
+        jobs: worker processes; ``1`` (default) runs serially in-process
+            and is bit-identical to the pre-parallel runner, ``None``
+            means :func:`default_jobs`.
+        progress: optional callback ``progress(task, result, failure)``
+            invoked once per finished cell (exactly one of result /
+            failure is not None).  Called in completion order.
+
+    Returns:
+        a :class:`GridResult`; failed cells are recorded in
+        ``.failures`` instead of aborting the remaining grid.
+    """
+    tasks = _build_tasks(list(specs), list(policies))
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    jobs = min(jobs, max(1, len(tasks)))
+    started = perf_counter()
+
+    gathered: dict[tuple[str, str], SimulationResult] = {}
+    failures: dict[tuple[str, str], GridFailure] = {}
+
+    def finish(task: GridTask, result: SimulationResult | None,
+               failure: GridFailure | None) -> None:
+        if result is not None:
+            gathered[task.key] = result
+        else:
+            failures[task.key] = failure
+        if progress is not None:
+            progress(task, result, failure)
+
+    if jobs == 1:
+        for task in tasks:
+            try:
+                finish(task, _run_one(trace, task.spec, task.policy), None)
+            except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+                finish(task, None, GridFailure(
+                    task.spec.name, task.policy, repr(exc),
+                    traceback.format_exc()))
+    else:
+        _run_grid_pool(trace, tasks, jobs, finish)
+
+    # Deterministic merge: reorder by task declaration, not completion.
+    results = {t.key: gathered[t.key] for t in tasks if t.key in gathered}
+    failures = {t.key: failures[t.key] for t in tasks if t.key in failures}
+    return GridResult(tasks=tasks, results=results, failures=failures,
+                      jobs=jobs,
+                      elapsed_seconds=perf_counter() - started)
+
+
+def _run_grid_pool(trace: Trace, tasks: list[GridTask], jobs: int,
+                   finish) -> None:
+    """Fan tasks over a process pool; record per-task failures."""
+    try:
+        shared = SharedTrace(trace)
+        payload: TraceDescriptor | Trace = shared.descriptor
+    except Exception:  # pragma: no cover - no /dev/shm etc.
+        shared = None
+        payload = trace  # pickled once per worker, still not per task
+    try:
+        with ProcessPoolExecutor(max_workers=jobs,
+                                 initializer=_worker_init,
+                                 initargs=(payload,)) as pool:
+            futures = {pool.submit(_worker_run, t.spec, t.policy): t
+                       for t in tasks}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    task = futures[fut]
+                    try:
+                        finish(task, fut.result(), None)
+                    except BrokenProcessPool as exc:
+                        # A worker died hard; every unfinished cell is
+                        # recorded and the completed ones are kept.
+                        finish(task, None, GridFailure(
+                            task.spec.name, task.policy, repr(exc)))
+                        for fut2 in pending:
+                            t2 = futures[fut2]
+                            finish(t2, None, GridFailure(
+                                t2.spec.name, t2.policy, repr(exc)))
+                        return
+                    except Exception as exc:  # noqa: BLE001
+                        finish(task, None, GridFailure(
+                            task.spec.name, task.policy, repr(exc),
+                            traceback.format_exc()))
+    finally:
+        if shared is not None:
+            shared.close()
+
+
+# -- sweep-shaped conveniences ----------------------------------------------
+
+def size_specs(base_spec: ExperimentSpec,
+               cache_sizes: list[int]) -> list[ExperimentSpec]:
+    """One spec per cache size, named ``<base>@<size>`` (Figs 5-8)."""
+    return [replace(base_spec, cache_bytes=size,
+                    name=f"{base_spec.name}@{fmt_bytes(size)}")
+            for size in cache_sizes]
 
 
 def run_comparison_parallel(trace: Trace, spec: ExperimentSpec,
                             policies: list[str],
                             max_workers: int | None = None
                             ) -> ComparisonResult:
-    """Parallel equivalent of :func:`repro.sim.experiment.run_comparison`.
-
-    Oracle policies are not supported here: they need the trace inside
-    the policy constructor, which ``spec.policy_kwargs`` can still carry,
-    but the duplicated trace per worker makes it wasteful — run those
-    serially.
-    """
-    workers = max_workers or default_workers()
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {name: pool.submit(_run_one, trace, spec, name)
-                   for name in policies}
-        results = {name: fut.result() for name, fut in futures.items()}
-    return ComparisonResult(spec, results)
+    """Parallel one-spec comparison (thin :func:`run_grid` wrapper)."""
+    grid = run_grid(trace, [spec], policies,
+                    jobs=max_workers or default_jobs())
+    grid.raise_failures()
+    return grid.comparison(spec)
 
 
 def sweep_parallel(trace: Trace, base_spec: ExperimentSpec,
                    policies: list[str], cache_sizes: list[int],
                    max_workers: int | None = None
                    ) -> dict[int, ComparisonResult]:
-    """Parallel equivalent of :func:`sweep_cache_sizes`: all
-    (policy, size) pairs run concurrently."""
-    workers = max_workers or default_workers()
-    specs = {size: replace(base_spec, cache_bytes=size,
-                           name=f"{base_spec.name}@{fmt_bytes(size)}")
-             for size in cache_sizes}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {(size, name): pool.submit(_run_one, trace, specs[size], name)
-                   for size in cache_sizes for name in policies}
-        gathered = {key: fut.result() for key, fut in futures.items()}
-    return {size: ComparisonResult(
-                specs[size],
-                {name: gathered[(size, name)] for name in policies})
-            for size in cache_sizes}
+    """Parallel cache-size sweep: all (size, policy) cells concurrently."""
+    specs = size_specs(base_spec, cache_sizes)
+    grid = run_grid(trace, specs, policies,
+                    jobs=max_workers or default_jobs())
+    grid.raise_failures()
+    return {size: grid.comparison(spec)
+            for size, spec in zip(cache_sizes, specs)}

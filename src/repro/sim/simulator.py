@@ -69,6 +69,9 @@ class Simulator:
         self.cache = cache
         self.service_model = service_model or ServiceTimeModel()
         self.fill_on_miss = fill_on_miss
+        self.window_gets = window_gets
+        # Rebuilt at the top of every run(); kept as an attribute so a
+        # run's collector stays inspectable after it returns.
         self.metrics = MetricsCollector(window_gets, self._snapshot)
 
     def _snapshot(self):
@@ -76,9 +79,15 @@ class Simulator:
                 self.cache.slab_distribution())
 
     def run(self, trace: Trace) -> SimulationResult:
-        """Replay ``trace`` to completion and return the result."""
+        """Replay ``trace`` to completion and return the result.
+
+        Each run gets a fresh :class:`MetricsCollector`: reusing the
+        one from a previous run would carry its windows and totals into
+        the new result and skew repeat-pass experiments (Fig 7 style).
+        """
         cache = self.cache
-        metrics = self.metrics
+        metrics = self.metrics = MetricsCollector(self.window_gets,
+                                                  self._snapshot)
         service = self.service_model
         fill = self.fill_on_miss
         cache_get = cache.get

@@ -4,7 +4,9 @@ from repro.traces.burst import inject_burst
 from repro.traces.io import (from_requests, iter_csv, load_csv, load_npz,
                              save_csv, save_npz)
 from repro.traces.penalty import PenaltyModel, infer_penalties
-from repro.traces.record import Op, Request, Trace
+from repro.traces.record import (Op, Request, SharedTrace, Trace,
+                                 TraceDescriptor, attach_shared_trace,
+                                 disable_shm_tracking)
 from repro.traces.stats import TraceStats, analyze, penalty_by_size_decade
 from repro.traces.synthetic import SyntheticTraceGenerator, generate, zipf_cdf
 from repro.traces.twitter import load_twitter
@@ -13,6 +15,8 @@ from repro.traces.workloads import (APP, ETC, PROFILES, SYS, USR, VAR,
 
 __all__ = [
     "Op", "Request", "Trace",
+    "SharedTrace", "TraceDescriptor", "attach_shared_trace",
+    "disable_shm_tracking",
     "WorkloadProfile", "SizeMixture", "get_profile", "PROFILES",
     "ETC", "APP", "USR", "SYS", "VAR",
     "SyntheticTraceGenerator", "generate", "zipf_cdf",

@@ -1,6 +1,8 @@
 """Behavioural tests for the PAMA policy on a real cache."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cache import SlabCache, SizeClassConfig
 from repro.core import PamaConfig, PamaPolicy
@@ -170,3 +172,64 @@ class TestIntegrity:
         # ghost_owner must agree with the per-queue ghosts
         for key, state in policy.ghost_owner.items():
             assert key in state.ghost
+
+
+class TestGhostOwnerSync:
+    """ghost_owner ↔ per-queue ghost lists stay a bijection.
+
+    The on_miss fast path relies on it: a ghost_owner entry whose key
+    is missing from the owning ghost would silently drop incoming
+    value (pre-fix this was an unreachable defensively-coded branch;
+    it is now an asserted invariant, and these property tests drive
+    the op space that has to maintain it).
+    """
+
+    OPS = ["get", "set", "delete"]
+    # two penalty levels → two bins; tiny keyspace → constant churn
+    PENALTIES = [0.0005, 2.0]
+
+    @staticmethod
+    def _apply(cache, op, key, penalty):
+        if op == "get":
+            cache.get(key, miss_info=(8, 50, penalty))
+        elif op == "set":
+            cache.set(key, 8, 50, penalty)
+        else:
+            cache.delete(key)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(OPS),
+                              st.integers(min_value=0, max_value=30),
+                              st.sampled_from(PENALTIES)),
+                    min_size=1, max_size=120),
+           st.integers(min_value=1, max_value=4))
+    def test_random_ops_preserve_sync(self, ops, slabs):
+        cache, policy = pama_cache(slabs=slabs)
+        for op, key, penalty in ops:
+            self._apply(cache, op, key, penalty)
+        policy.check_ghost_sync()
+        cache.check_invariants()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.tuples(st.sampled_from(OPS),
+                              st.integers(min_value=0, max_value=10),
+                              st.sampled_from(PENALTIES)),
+                    min_size=20, max_size=60))
+    def test_sync_holds_at_every_step_with_rollover(self, ops):
+        # value_window=16 interleaves rollovers with the op stream
+        cache, policy = pama_cache(slabs=1, value_window=16)
+        for op, key, penalty in ops:
+            self._apply(cache, op, key, penalty)
+            policy.check_ghost_sync()
+
+    def test_check_ghost_sync_detects_dangling_owner(self):
+        cache, policy = pama_cache(slabs=1)
+        per_slab = 4096 // 64
+        for i in range(per_slab + 2):
+            cache.set(i, 8, 50, 0.0005)
+        policy.check_ghost_sync()  # healthy
+        # manufacture the corruption the invariant exists to catch
+        key, state = next(iter(policy.ghost_owner.items()))
+        state.ghost.remove(key)
+        with pytest.raises(AssertionError):
+            policy.check_ghost_sync()

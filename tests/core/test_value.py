@@ -62,3 +62,40 @@ class TestValueAccumulator:
     def test_invalid_size(self):
         with pytest.raises(ValueError):
             ValueAccumulator(0)
+
+
+class TestDecayKeepsSmallCounts:
+    """Regression: int-truncating decay collapsed counts of 1 to 0."""
+
+    def test_single_hit_survives_decay(self):
+        acc = ValueAccumulator(2)
+        acc.add_outgoing(0, 1.0)
+        acc.add_incoming(1, 1.0)
+        acc.rollover("decay", 0.5)
+        # pre-fix: int(1 * 0.5) == 0 — the segment forgot its only hit
+        assert acc.out_hits[0] == pytest.approx(0.5)
+        assert acc.inc_hits[1] == pytest.approx(0.5)
+
+    def test_repeated_decay_fades_but_never_zeroes(self):
+        acc = ValueAccumulator(1)
+        acc.add_outgoing(0, 1.0)
+        for _ in range(10):
+            acc.rollover("decay", 0.5)
+        assert 0 < acc.out_hits[0] == pytest.approx(0.5 ** 10)
+
+    def test_counts_decay_like_values(self):
+        # pre-PAMA's count-based values must fade at the same rate as
+        # PAMA's penalty-based ones, not collapse to zero first.
+        acc = ValueAccumulator(1)
+        for _ in range(3):
+            acc.add_outgoing(0, 0.25)
+        for _ in range(4):
+            acc.rollover("decay", 0.9)
+        assert acc.out_hits[0] / 3 == pytest.approx(acc.out[0] / 0.75)
+
+    def test_reset_still_returns_ints(self):
+        acc = ValueAccumulator(1)
+        acc.add_outgoing(0, 1.0)
+        acc.rollover("decay", 0.5)
+        acc.rollover("reset", 0.5)
+        assert acc.out_hits == [0] and acc.inc_hits == [0]

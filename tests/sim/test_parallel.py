@@ -1,10 +1,11 @@
-"""Tests for the multi-core experiment runner."""
+"""Tests for the parallel experiment engine (run_grid and wrappers)."""
 
 import pytest
 
 from repro._util import MIB
 from repro.sim import ExperimentSpec, run_comparison
-from repro.sim.parallel import (default_workers, run_comparison_parallel,
+from repro.sim.parallel import (GridFailure, default_jobs, default_workers,
+                                run_comparison_parallel, run_grid, size_specs,
                                 sweep_parallel)
 from repro.traces import ETC, generate
 
@@ -21,7 +22,90 @@ def spec():
                           policy_kwargs={"pama": {"value_window": 5_000}})
 
 
-class TestParallelRunner:
+def result_fingerprint(r):
+    return (r.hit_ratio, r.avg_service_time, r.total_gets,
+            tuple(r.hit_ratio_series()), tuple(r.service_time_series()),
+            r.cache_stats["migrations"], r.cache_stats["evictions"],
+            tuple(sorted(r.final_class_slabs.items())))
+
+
+class TestRunGrid:
+    POLICIES = ["memcached", "psa", "pama"]
+
+    def test_serial_matches_parallel_exactly(self, trace, spec):
+        specs = size_specs(spec, [1 * MIB, 2 * MIB, 4 * MIB])
+        serial = run_grid(trace, specs, self.POLICIES, jobs=1)
+        parallel = run_grid(trace, specs, self.POLICIES, jobs=4)
+        assert serial.ok and parallel.ok
+        assert list(serial.results) == list(parallel.results)
+        for key in serial.results:
+            assert result_fingerprint(serial.results[key]) \
+                == result_fingerprint(parallel.results[key]), key
+
+    def test_merge_order_is_task_order(self, trace, spec):
+        specs = size_specs(spec, [1 * MIB, 2 * MIB])
+        grid = run_grid(trace, specs, self.POLICIES, jobs=2)
+        expected = [(s.name, p) for s in specs for p in self.POLICIES]
+        assert list(grid.results) == expected
+
+    def test_shuffled_specs_produce_same_cells(self, trace, spec):
+        specs = size_specs(spec, [1 * MIB, 2 * MIB])
+        fwd = run_grid(trace, specs, self.POLICIES, jobs=2)
+        rev = run_grid(trace, list(reversed(specs)),
+                       list(reversed(self.POLICIES)), jobs=2)
+        assert set(fwd.results) == set(rev.results)
+        for key in fwd.results:
+            assert result_fingerprint(fwd.results[key]) \
+                == result_fingerprint(rev.results[key]), key
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_failed_cell_does_not_kill_the_sweep(self, trace, spec, jobs):
+        grid = run_grid(trace, [spec], ["memcached", "no-such-policy"],
+                        jobs=jobs)
+        assert not grid.ok
+        assert set(grid.results) == {("par", "memcached")}
+        failure = grid.failures[("par", "no-such-policy")]
+        assert isinstance(failure, GridFailure)
+        assert "no-such-policy" in failure.error
+        with pytest.raises(RuntimeError, match="no-such-policy"):
+            grid.raise_failures()
+
+    def test_progress_sees_every_cell(self, trace, spec):
+        seen = []
+        grid = run_grid(trace, [spec], ["memcached", "no-such-policy"],
+                        progress=lambda t, r, f: seen.append(
+                            (t.policy, r is not None, f is not None)))
+        assert sorted(seen) == [("memcached", True, False),
+                                ("no-such-policy", False, True)]
+        assert len(grid.results) + len(grid.failures) == 2
+
+    def test_duplicate_cells_rejected(self, trace, spec):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_grid(trace, [spec, spec], ["memcached"])
+
+    def test_comparison_views(self, trace, spec):
+        specs = size_specs(spec, [1 * MIB, 2 * MIB])
+        grid = run_grid(trace, specs, ["memcached", "pama"], jobs=1)
+        cmps = grid.comparisons()
+        assert list(cmps) == [s.name for s in specs]
+        for s in specs:
+            assert set(cmps[s.name].results) == {"memcached", "pama"}
+            assert cmps[s.name].spec.cache_bytes == s.cache_bytes
+
+    def test_jobs_none_uses_default(self, trace, spec):
+        grid = run_grid(trace, [spec], ["memcached"], jobs=None)
+        assert grid.jobs >= 1
+        assert grid.ok
+
+    def test_matches_run_comparison(self, trace, spec):
+        cmp = run_comparison(trace, spec, self.POLICIES)
+        grid = run_grid(trace, [spec], self.POLICIES, jobs=4)
+        for name in self.POLICIES:
+            assert result_fingerprint(cmp.results[name]) \
+                == result_fingerprint(grid.results[("par", name)]), name
+
+
+class TestParallelWrappers:
     def test_matches_serial_results(self, trace, spec):
         policies = ["memcached", "psa", "pama"]
         serial = run_comparison(trace, spec, policies)
@@ -43,4 +127,5 @@ class TestParallelRunner:
             assert out[size].spec.cache_bytes == size
 
     def test_default_workers_positive(self):
-        assert default_workers() >= 1
+        assert default_jobs() >= 1
+        assert default_workers is default_jobs

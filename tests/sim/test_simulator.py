@@ -102,3 +102,45 @@ class TestSimulator:
         r2 = simulate(trace, build_cache(slabs=32), window_gets=2_000)
         assert r1.hit_ratio == r2.hit_ratio
         assert r1.avg_service_time == pytest.approx(r2.avg_service_time)
+
+
+class TestSimulatorReuse:
+    """Regression: run() must not inherit the previous run's metrics.
+
+    Before the fix, the collector built in __init__ was reused across
+    run() calls, so a second run reported the union of both runs'
+    windows and totals (skewing repeat-pass experiments like Fig 7).
+    """
+
+    def test_second_run_reports_identical_results(self):
+        # After run 1, key 1 is resident, so run 2 replays identically
+        # (all hits) over the warm cache — identical results, unless
+        # stale metrics leak across runs.
+        trace = manual_trace([(Op.SET, 1, 100, 0.5)]
+                             + [(Op.GET, 1, 100, 0.5)] * 4)
+        sim = Simulator(build_cache(), window_gets=2)
+        r1 = sim.run(trace)
+        r2 = sim.run(trace)
+        assert r2.total_gets == trace.num_gets
+        assert len(r2.windows) == len(r1.windows)
+        assert r2.hit_ratio == r1.hit_ratio
+        assert r2.avg_service_time == pytest.approx(r1.avg_service_time)
+
+    def test_totals_are_per_run_not_cumulative(self):
+        trace = generate(ETC.scaled(0.02), 10_000, seed=5)
+        sim = Simulator(build_cache(slabs=64), window_gets=2_000)
+        sim.run(trace)
+        r2 = sim.run(trace)
+        assert r2.total_gets == trace.num_gets  # pre-fix: 2x
+        # windows restart from index 0 each run
+        assert [w.index for w in r2.windows] == list(range(len(r2.windows)))
+
+    def test_partial_window_does_not_leak_into_next_run(self):
+        # 3 GETs with window_gets=2 leaves a flushed partial window;
+        # the next run must start from an empty collector.
+        trace = manual_trace([(Op.GET, k, 100, 0.1) for k in range(3)])
+        sim = Simulator(build_cache(), window_gets=2)
+        sim.run(trace)
+        r2 = sim.run(trace)
+        assert sum(w.gets for w in r2.windows) == 3
+        assert r2.windows[0].gets == 2 and r2.windows[1].gets == 1
