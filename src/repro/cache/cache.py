@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from typing import Iterator
 
+from repro import obs as _obs
 from repro._util import fmt_bytes
 from repro.cache.errors import (InvalidItemError, ItemTooLargeError,
                                 OutOfMemoryError, PolicyError)
@@ -55,12 +56,54 @@ class SlabCache:
         #: monotonically increasing access tick (GETs + SETs + DELETEs);
         #: the paper's notion of time for windows and item ages.
         self.accesses = 0
+        #: monotonically increasing CAS id; every successful SET stamps
+        #: the item with the next value (memcached's ``cas unique``).
+        self.cas_tick = 0
         # Migrations requested by a policy callback *during* an operation
         # are deferred until the operation completes: applying them
         # immediately could evict the very item being served.
         self._pending_migrations: list[tuple[Queue, Queue]] = []
         self._in_operation = False
+        #: optional observability attachments (see repro.obs); None means
+        #: every instrumentation point is a single attribute check.
+        self.obs = None
+        self.events = None
+        if _obs.is_enabled():
+            self.attach_obs(_obs.get_registry(), _obs.get_event_trace())
         policy.attach(self)
+
+    def attach_obs(self, registry, events=None) -> None:
+        """Attach a metrics registry (and optional event trace).
+
+        Creates the cache's counters up front so hot paths only call
+        ``Counter.inc`` through pre-bound references.
+        """
+        self.obs = registry
+        self.events = events
+        counter = registry.counter
+        self._c_gets = counter("cache_gets_total", "GET lookups")
+        self._c_hits = counter("cache_hits_total", "GET hits")
+        self._c_misses = counter("cache_misses_total", "GET misses")
+        self._c_sets = counter("cache_sets_total", "successful SETs")
+        self._c_set_failures = counter(
+            "cache_set_failures_total", "SETs that could not be stored")
+        self._c_evictions = counter(
+            "cache_evictions_total", "items evicted for space")
+        self._c_migrations = counter(
+            "cache_migrations_total", "slab migrations between queues")
+        self._c_expired = counter(
+            "cache_expired_total", "items dropped at expiry")
+
+    def update_obs_gauges(self) -> None:
+        """Refresh point-in-time gauges (called on stats/export, not in
+        hot paths)."""
+        if self.obs is None:
+            return
+        gauge = self.obs.gauge
+        gauge("cache_items", "live items").set(len(self.index))
+        gauge("cache_used_bytes", "logical item bytes").set(self.used_bytes)
+        gauge("cache_slabs_total", "slabs in the pool").set(self.pool.total)
+        gauge("cache_slabs_free", "unowned slabs").set(self.pool.free)
 
     # ------------------------------------------------------------------
     # queue management
@@ -114,18 +157,26 @@ class SlabCache:
                     and self.clock() >= item.expires_at:
                 self._unlink(item)
                 self.stats.expired += 1
+                if self.obs is not None:
+                    self._c_expired.inc()
                 item = None
             if item is not None:
                 queue = self.queues[(item.class_idx, item.bin_idx)]
                 queue.stats.gets += 1
                 queue.stats.hits += 1
                 self.stats.hits += 1
+                if self.obs is not None:
+                    self._c_gets.inc()
+                    self._c_hits.inc()
                 self.policy.on_hit(queue, item)
                 queue.lru.move_to_front(item)
                 item.last_access = self.accesses
                 return item
             # miss
             self.stats.misses += 1
+            if self.obs is not None:
+                self._c_gets.inc()
+                self._c_misses.inc()
             class_idx, penalty = -1, math.nan
             if miss_info is not None:
                 key_size, value_size, penalty = miss_info
@@ -183,12 +234,18 @@ class SlabCache:
                 self._ensure_slot(queue)
             except OutOfMemoryError:
                 self.stats.set_failures += 1
+                if self.obs is not None:
+                    self._c_set_failures.inc()
                 return False
             queue.lru.push_front(item)
             item.last_access = self.accesses
+            self.cas_tick += 1
+            item.cas = self.cas_tick
             self.index[key] = item
             queue.stats.sets += 1
             self.stats.sets += 1
+            if self.obs is not None:
+                self._c_sets.inc()
             self.policy.on_insert(queue, item)
             return True
         finally:
@@ -283,6 +340,12 @@ class SlabCache:
         del self.index[victim.key]
         queue.stats.evictions += 1
         self.stats.evictions += 1
+        if self.obs is not None:
+            self._c_evictions.inc()
+        if self.events is not None:
+            self.events.record("eviction", self.accesses, queue=queue.qid,
+                               key=victim.key, penalty=victim.penalty,
+                               size=victim.total_size)
         self.policy.on_evict(queue, victim)
 
     def _migrate_slab(self, donor: Queue, receiver: Queue) -> None:
@@ -295,14 +358,22 @@ class SlabCache:
             raise PolicyError(
                 f"policy {self.policy.name!r} chose slabless donor {donor.qid}")
         target_used = (donor.slabs - 1) * donor.slots_per_slab
+        evicted = 0
         while donor.used_slots > target_used:
             self._evict_one(donor)
+            evicted += 1
         self.pool.transfer(donor.qid, receiver.qid)
         donor.slabs -= 1
         receiver.slabs += 1
         donor.stats.slabs_donated += 1
         receiver.stats.slabs_received += 1
         self.stats.migrations += 1
+        if self.obs is not None:
+            self._c_migrations.inc()
+        if self.events is not None:
+            self.events.record("slab_migration", self.accesses,
+                               donor=donor.qid, receiver=receiver.qid,
+                               evicted=evicted)
 
     def migrate(self, donor: Queue, receiver: Queue) -> None:
         """Proactively move one slab from ``donor`` to ``receiver``.

@@ -26,7 +26,7 @@ class Item:
 
     __slots__ = ("key", "key_size", "value_size", "penalty", "class_idx",
                  "bin_idx", "last_access", "value", "prev", "next", "seg",
-                 "expires_at")
+                 "expires_at", "cas")
 
     def __init__(self, key: object, key_size: int, value_size: int,
                  penalty: float, class_idx: int = -1, bin_idx: int = 0,
@@ -41,6 +41,9 @@ class Item:
         self.value = value
         #: absolute expiry time in seconds (0.0 = never expires).
         self.expires_at = expires_at
+        #: CAS unique id, stamped by SlabCache.set on every store (the
+        #: memcached ``gets``/``cas`` check-and-set token).
+        self.cas = 0
         self.prev: Item | None = None
         self.next: Item | None = None
         # Segment index maintained by a SegmentedLRU observer (-1 = above

@@ -172,6 +172,66 @@ def cmd_cluster(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    from repro import obs
+
+    if args.obs_command == "diff":
+        import json
+        with open(args.old) as fh:
+            old = json.load(fh)
+        with open(args.new) as fh:
+            new = json.load(fh)
+        print(obs.format_diff(obs.diff_snapshots(old, new)))
+        return 0
+
+    # obs dump: replay a trace with observability on, then export the
+    # registry (and event-trace tail) as JSON and/or Prometheus text.
+    from repro.sim.report import tail_summary
+    from repro.sim.service import ServiceTimeModel
+    from repro.sim.simulator import Simulator
+
+    if args.format == "both" and not args.out:
+        raise SystemExit("--format both requires --out (used as a prefix)")
+    registry = obs.enable(event_capacity=args.events)
+    try:
+        trace = _trace_from_args(args)
+        spec = ExperimentSpec(name="obs-dump",
+                              cache_bytes=parse_size(args.cache_size),
+                              slab_size=parse_size(args.slab_size),
+                              hit_time=args.hit_time,
+                              window_gets=args.window)
+        cache = spec.build_cache(args.policy)
+        sim = Simulator(cache, ServiceTimeModel(hit_time=args.hit_time),
+                        window_gets=args.window)
+        result = sim.run(trace)
+        cache.update_obs_gauges()
+        meta = {"policy": args.policy, "requests": len(trace),
+                "cache_bytes": spec.cache_bytes,
+                "hit_ratio": result.hit_ratio,
+                "avg_service_time": result.avg_service_time}
+        events = obs.get_event_trace()
+
+        outputs: list[tuple[str, str]] = []  # (suffix, content)
+        if args.format in ("json", "both"):
+            outputs.append((".json", obs.to_json(registry, events=events,
+                                                 meta=meta)))
+        if args.format in ("prom", "both"):
+            outputs.append((".prom", obs.to_prometheus(registry)))
+        if args.out:
+            for suffix, content in outputs:
+                path = args.out if len(outputs) == 1 else args.out + suffix
+                with open(path, "w") as fh:
+                    fh.write(content)
+                print(f"wrote {path}", file=sys.stderr)
+            print(tail_summary({args.policy: result}), file=sys.stderr)
+        else:
+            for _suffix, content in outputs:
+                print(content)
+    finally:
+        obs.disable()
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.cache import SlabCache, SizeClassConfig
     from repro.policies import make_policy
@@ -234,6 +294,26 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--nodes", default="1,2,4",
                    help="comma-separated node counts to compare")
     k.set_defaults(func=cmd_cluster)
+
+    o = subs.add_parser("obs", help="observability snapshots (dump/diff)")
+    osubs = o.add_subparsers(dest="obs_command", required=True)
+    od = osubs.add_parser(
+        "dump", help="replay a trace with obs on; dump the registry")
+    _add_trace_args(od)
+    _add_cache_args(od)
+    od.add_argument("--policy", default="pama", choices=POLICY_NAMES)
+    od.add_argument("--format", default="json",
+                    choices=["json", "prom", "both"],
+                    help="snapshot format ('both' needs --out as a prefix)")
+    od.add_argument("--events", type=int, default=4096,
+                    help="event ring-buffer capacity")
+    od.add_argument("--out", help="output path (prefix with --format both); "
+                                  "default prints to stdout")
+    od.set_defaults(func=cmd_obs)
+    of = osubs.add_parser("diff", help="delta between two JSON snapshots")
+    of.add_argument("old")
+    of.add_argument("new")
+    of.set_defaults(func=cmd_obs)
 
     v = subs.add_parser("serve", help="run the memcached-protocol server")
     v.add_argument("--host", default="127.0.0.1")

@@ -32,13 +32,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class PamaQueueState:
     """Per-subclass machinery: segment tracker, ghost list, values."""
 
-    __slots__ = ("tracker", "ghost", "values")
+    __slots__ = ("tracker", "ghost", "values", "qid")
 
     def __init__(self, tracker, ghost: GhostList,
-                 values: ValueAccumulator) -> None:
+                 values: ValueAccumulator,
+                 qid: tuple[int, int] = (-1, -1)) -> None:
         self.tracker = tracker
         self.ghost = ghost
         self.values = values
+        self.qid = qid
 
 
 class PamaPolicy(AllocationPolicy):
@@ -80,7 +82,8 @@ class PamaPolicy(AllocationPolicy):
             tracker = SegmentTracker(queue.lru, seg_len, cfg.num_segments)
         ghost = GhostList(seg_len, cfg.ghost_depth_segments)
         state = PamaQueueState(tracker, ghost,
-                               ValueAccumulator(cfg.num_segments))
+                               ValueAccumulator(cfg.num_segments),
+                               qid=queue.qid)
         queue.policy_data = state
         self._states[queue.qid] = state
 
@@ -96,6 +99,10 @@ class PamaPolicy(AllocationPolicy):
         for state in self._states.values():
             state.values.rollover(cfg.window_mode, cfg.decay)
             state.tracker.rollover()
+        events = self.cache.events
+        if events is not None:
+            events.record("window_rollover", self.cache.accesses,
+                          window=cfg.value_window, queues=len(self._states))
 
     # -- event observation ----------------------------------------------
     def on_hit(self, queue: Queue, item: Item) -> None:
@@ -120,6 +127,11 @@ class PamaPolicy(AllocationPolicy):
         # Use the penalty remembered at eviction time — "PAMA uses actual
         # miss penalties associated with each slab".
         state.values.add_incoming(entry.seg, self._contribution(entry.penalty))
+        events = self.cache.events
+        if events is not None:
+            events.record("ghost_hit", self.cache.accesses, key=key,
+                          queue=state.qid, seg=entry.seg,
+                          penalty=entry.penalty)
 
     def on_insert(self, queue: Queue, item: Item) -> None:
         # The key is live again; it must leave the ghost or a future
@@ -189,13 +201,27 @@ class PamaPolicy(AllocationPolicy):
             # Scenario 2 (§III): the cheapest candidate slab is our own —
             # no cross-subclass migration, replace one item in place.
             self.migrations_declined += 1
+            self._record_decision(queue, donor, incoming, min_out, "self")
             return queue
         if incoming <= min_out and not must_migrate:
             # Scenario 1: a migration would not improve utilization.
             self.migrations_declined += 1
+            self._record_decision(queue, donor, incoming, min_out, "declined")
             return None
         if incoming <= min_out:
             self.migrations_forced += 1
+            self._record_decision(queue, donor, incoming, min_out, "forced")
         else:
             self.migrations_approved += 1
+            self._record_decision(queue, donor, incoming, min_out, "approved")
         return donor
+
+    def _record_decision(self, queue: Queue, donor: Queue, incoming: float,
+                         min_out: float, outcome: str) -> None:
+        """Trace one migration decision with the values that drove it."""
+        events = self.cache.events
+        if events is not None:
+            events.record("pama_decision", self.cache.accesses,
+                          requester=queue.qid, donor=donor.qid,
+                          incoming=incoming, outgoing=min_out,
+                          outcome=outcome)

@@ -1,0 +1,81 @@
+"""Structured event trace: a bounded ring buffer of cache events.
+
+Captures the *sequence* the windowed aggregates average away: which
+slab moved where, what was evicted to make room, which misses were
+ghost hits, when PAMA's value windows rolled over.  Every event carries
+the cache's access tick (the paper's notion of time), so traces line up
+with the per-window series.
+
+The buffer is a ``deque(maxlen=...)``: recording is O(1), memory is
+bounded, and old events fall off the back (``dropped`` counts them).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+
+class Event:
+    """One traced occurrence: a kind, an access tick, and a payload."""
+
+    __slots__ = ("kind", "tick", "data")
+
+    def __init__(self, kind: str, tick: int, data: dict) -> None:
+        self.kind = kind
+        self.tick = tick
+        self.data = data
+
+    def as_dict(self) -> dict:
+        return {"kind": self.kind, "tick": self.tick, **self.data}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        fields = " ".join(f"{k}={v!r}" for k, v in self.data.items())
+        return f"Event({self.kind}@{self.tick} {fields})"
+
+
+class EventTrace:
+    """Fixed-capacity ring buffer of :class:`Event`."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.recorded = 0
+        self._buf: deque[Event] = deque(maxlen=capacity)
+
+    def record(self, kind: str, tick: int, **data) -> None:
+        self.recorded += 1
+        self._buf.append(Event(kind, tick, data))
+
+    @property
+    def dropped(self) -> int:
+        """Events that have fallen off the back of the ring."""
+        return self.recorded - len(self._buf)
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._buf)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self._buf if e.kind == kind]
+
+    def kinds(self) -> dict[str, int]:
+        """Event count per kind, over what the ring still holds."""
+        out: dict[str, int] = {}
+        for e in self._buf:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def snapshot(self, last: int | None = None) -> list[dict]:
+        """The newest ``last`` events (all retained ones by default)."""
+        events = list(self._buf)
+        if last is not None:
+            events = events[-last:]
+        return [e.as_dict() for e in events]
+
+    def clear(self) -> None:
+        self._buf.clear()
+        self.recorded = 0

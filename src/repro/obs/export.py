@@ -1,0 +1,172 @@
+"""Snapshot export: JSON documents and Prometheus text exposition.
+
+A *snapshot* is a plain JSON-able dict of everything a registry (and
+optionally an event trace) knows; two snapshots diff into per-metric
+deltas, which is how ``repro-kv obs diff`` turns "before" and "after"
+dumps into a rate report.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.events import EventTrace
+from repro.obs.registry import Counter, Gauge, Histogram, Registry
+
+#: quantiles included in snapshots and flat stats dumps.
+SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99, 0.999)
+
+
+def _label_suffix(labels: tuple[tuple[str, str], ...]) -> str:
+    """Render labels for flat keys: ``{a=b,c=d}`` (no spaces)."""
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+
+
+def snapshot(registry: Registry, events: EventTrace | None = None,
+             meta: dict | None = None) -> dict:
+    """A JSON-able dump of every metric (and, optionally, the events)."""
+    counters, gauges, histograms = [], [], []
+    for m in registry.collect():
+        entry: dict = {"name": m.name, "labels": dict(m.labels)}
+        if isinstance(m, Counter):
+            entry["value"] = m.value
+            counters.append(entry)
+        elif isinstance(m, Gauge):
+            entry["value"] = m.value
+            gauges.append(entry)
+        else:
+            entry.update(
+                count=m.count, sum=m.sum,
+                min=m.min if m.count else None,
+                max=m.max if m.count else None,
+                quantiles=m.quantiles(SNAPSHOT_QUANTILES),
+                buckets=[[le, cum] for le, cum in m.cumulative_buckets()
+                         if cum or le == float("inf")])
+            histograms.append(entry)
+    doc = {"meta": meta or {}, "counters": counters, "gauges": gauges,
+           "histograms": histograms}
+    if events is not None:
+        doc["events"] = {"recorded": events.recorded,
+                         "dropped": events.dropped,
+                         "kinds": events.kinds(),
+                         "tail": events.snapshot(last=100)}
+    return doc
+
+
+def to_json(registry: Registry, events: EventTrace | None = None,
+            meta: dict | None = None, indent: int = 2) -> str:
+    # inf bucket bounds are not valid JSON; render them as the string
+    # "+Inf" (the Prometheus spelling) so snapshots round-trip.
+    def default(obj):  # pragma: no cover - only hit on exotic payloads
+        return repr(obj)
+
+    doc = snapshot(registry, events=events, meta=meta)
+    for hist in doc["histograms"]:
+        hist["buckets"] = [["+Inf" if le == float("inf") else le, cum]
+                           for le, cum in hist["buckets"]]
+    return json.dumps(doc, indent=indent, default=default)
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _prom_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(str(v))}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: Registry) -> str:
+    """Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for m in registry.collect():
+        if m.name not in seen_headers:
+            seen_headers.add(m.name)
+            if m.help:
+                lines.append(f"# HELP {m.name} {m.help}")
+            lines.append(f"# TYPE {m.name} {m.kind}")
+        if isinstance(m, (Counter, Gauge)):
+            lines.append(f"{m.name}{_prom_labels(m.labels)} {_fmt(m.value)}")
+        else:
+            for le, cum in m.cumulative_buckets():
+                labels = _prom_labels(m.labels, (("le", _fmt(le)),))
+                lines.append(f"{m.name}_bucket{labels} {cum}")
+            base = _prom_labels(m.labels)
+            lines.append(f"{m.name}_sum{base} {_fmt(m.sum)}")
+            lines.append(f"{m.name}_count{base} {m.count}")
+    return "\n".join(lines) + "\n"
+
+
+def flat_items(registry: Registry,
+               histograms: bool = True) -> list[tuple[str, object]]:
+    """Flatten every metric to space-free ``(key, value)`` pairs.
+
+    This is the ``stats detail`` wire format: counters/gauges one pair
+    each, histograms expanded to ``_count``/``_sum``/``_mean``/
+    ``_min``/``_max`` plus the snapshot quantiles.
+    """
+    out: list[tuple[str, object]] = []
+    for m in registry.collect():
+        key = m.name + _label_suffix(m.labels)
+        if isinstance(m, (Counter, Gauge)):
+            value = m.value
+            out.append((key, int(value) if float(value).is_integer()
+                        else value))
+        elif histograms:
+            out.append((key + "_count", m.count))
+            out.append((key + "_sum", m.sum))
+            if m.count:
+                out.append((key + "_mean", m.mean))
+                out.append((key + "_min", m.min))
+                out.append((key + "_max", m.max))
+                for name, value in m.quantiles(SNAPSHOT_QUANTILES).items():
+                    out.append((key + "_" + name, value))
+    return out
+
+
+def diff_snapshots(old: dict, new: dict) -> dict[str, float]:
+    """Per-metric deltas between two snapshot dicts (new - old).
+
+    Counters and histogram count/sum diff numerically; gauges report
+    their new value minus the old.  Metrics absent from ``old`` diff
+    against zero.
+    """
+    def flatten(doc: dict) -> dict[str, float]:
+        flat: dict[str, float] = {}
+        for entry in doc.get("counters", []) + doc.get("gauges", []):
+            flat[entry["name"] + _label_suffix(
+                tuple(sorted(entry["labels"].items())))] = entry["value"]
+        for entry in doc.get("histograms", []):
+            key = entry["name"] + _label_suffix(
+                tuple(sorted(entry["labels"].items())))
+            flat[key + "_count"] = entry["count"]
+            flat[key + "_sum"] = entry["sum"]
+        return flat
+
+    old_flat, new_flat = flatten(old), flatten(new)
+    return {key: value - old_flat.get(key, 0.0)
+            for key, value in sorted(new_flat.items())}
+
+
+def format_diff(deltas: dict[str, float], skip_zero: bool = True) -> str:
+    """Render a :func:`diff_snapshots` result as an aligned table."""
+    rows = [(k, v) for k, v in deltas.items() if v or not skip_zero]
+    if not rows:
+        return "(no change)"
+    width = max(len(k) for k, _ in rows)
+    return "\n".join(f"{k:<{width}}  {v:+g}" for k, v in rows)

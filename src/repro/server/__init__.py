@@ -1,8 +1,9 @@
 """Minimal memcached-protocol server and client over the slab cache."""
 
 from repro.server.client import CacheClient
-from repro.server.protocol import ProtocolError, parse_command
+from repro.server.protocol import (ProtocolError, format_request,
+                                   parse_command)
 from repro.server.server import CacheServer, start_server
 
 __all__ = ["CacheServer", "start_server", "CacheClient", "parse_command",
-           "ProtocolError"]
+           "format_request", "ProtocolError"]

@@ -68,6 +68,26 @@ class CacheClient:
         """Concatenate before an existing value."""
         return self._storage("prepend", key, data, 0.0, 0)
 
+    def cas(self, key: str, data: bytes, cas_unique: int,
+            penalty: float = 0.1, exptime: int = 0) -> bool | None:
+        """Check-and-set: store only if the item's cas id still matches.
+
+        Returns True (stored), False (item changed since ``gets``:
+        EXISTS), or None (item is gone: NOT_FOUND).
+        """
+        flags = max(0, int(round(penalty * 1e6)))
+        line = (f"cas {key} {flags} {exptime} {len(data)} "
+                f"{cas_unique}\r\n".encode())
+        self._sock.sendall(line + data + b"\r\n")
+        resp = self._readline()
+        if resp == b"STORED":
+            return True
+        if resp == b"EXISTS":
+            return False
+        if resp == b"NOT_FOUND":
+            return None
+        raise RuntimeError(f"unexpected cas response: {resp!r}")
+
     def incr(self, key: str, delta: int = 1) -> int | None:
         """Increment a numeric value; None if the key is absent."""
         return self._incr_decr("incr", key, delta)
@@ -116,6 +136,22 @@ class CacheClient:
             else:
                 raise RuntimeError(f"unexpected get response: {line!r}")
 
+    def gets(self, key: str) -> tuple[bytes, int] | None:
+        """Retrieve ``(value, cas_unique)`` for use with :meth:`cas`."""
+        self._sock.sendall(f"gets {key}\r\n".encode())
+        result = None
+        while True:
+            line = self._readline()
+            if line == b"END":
+                return result
+            if line.startswith(b"VALUE "):
+                _tag, _key, _flags, nbytes, cas_unique = line.split()
+                value = self._rfile.read(int(nbytes))
+                self._rfile.read(2)  # CRLF
+                result = (value, int(cas_unique))
+            else:
+                raise RuntimeError(f"unexpected gets response: {line!r}")
+
     def delete(self, key: str) -> bool:
         self._sock.sendall(f"delete {key}\r\n".encode())
         resp = self._readline()
@@ -125,8 +161,10 @@ class CacheClient:
             return False
         raise RuntimeError(f"unexpected delete response: {resp!r}")
 
-    def stats(self) -> dict[str, str]:
-        self._sock.sendall(b"stats\r\n")
+    def stats(self, arg: str | None = None) -> dict[str, str]:
+        """``stats`` (counters) or ``stats detail`` (full registry)."""
+        line = b"stats\r\n" if arg is None else f"stats {arg}\r\n".encode()
+        self._sock.sendall(line)
         out: dict[str, str] = {}
         while True:
             line = self._readline()

@@ -17,11 +17,26 @@ MAX_KEY_LEN = 250  # memcached's limit
 
 
 class ProtocolError(ValueError):
-    """Malformed client input; rendered as CLIENT_ERROR."""
+    """Malformed client input; rendered as CLIENT_ERROR.
+
+    ``data_bytes`` is set when a *storage* line failed to parse but its
+    byte count was readable: the server can then drain the data block
+    (``data_bytes`` + CRLF) and keep the connection in sync.  ``fatal``
+    marks storage-line errors where the count is unknowable — the only
+    safe recovery is closing the connection, since the bytes that
+    follow are payload, not commands.
+    """
+
+    def __init__(self, message: str, *, data_bytes: int | None = None,
+                 fatal: bool = False) -> None:
+        super().__init__(message)
+        self.data_bytes = data_bytes
+        self.fatal = fatal
 
 
-#: storage command verbs sharing the ``set`` grammar.
-STORAGE_VERBS = ("set", "add", "replace", "append", "prepend")
+#: storage command verbs sharing the ``set`` grammar (``cas`` carries
+#: one extra field, the cas unique id from a prior ``gets``).
+STORAGE_VERBS = ("set", "add", "replace", "append", "prepend", "cas")
 
 
 @dataclass(frozen=True)
@@ -31,7 +46,8 @@ class SetCommand:
     ``verb`` distinguishes memcached's conditional/concatenating
     variants: ``add`` (store only if absent), ``replace`` (only if
     present), ``append``/``prepend`` (concatenate onto an existing
-    value).
+    value), ``cas`` (store only if untouched since ``cas_unique`` was
+    read via ``gets``).
     """
 
     key: str
@@ -40,6 +56,7 @@ class SetCommand:
     nbytes: int
     noreply: bool
     verb: str = "set"
+    cas_unique: int | None = None
 
     @property
     def penalty(self) -> float:
@@ -50,6 +67,8 @@ class SetCommand:
 @dataclass(frozen=True)
 class GetCommand:
     keys: tuple[str, ...]
+    #: True for ``gets``: VALUE lines carry the item's cas unique id.
+    with_cas: bool = False
 
 
 @dataclass(frozen=True)
@@ -80,7 +99,8 @@ class FlushAllCommand:
 
 @dataclass(frozen=True)
 class StatsCommand:
-    pass
+    #: None for plain ``stats``; "detail" dumps every registry metric.
+    arg: str | None = None
 
 
 @dataclass(frozen=True)
@@ -118,21 +138,40 @@ def parse_command(line: bytes) -> Command:
     cmd = parts[0].lower()
 
     if cmd in STORAGE_VERBS:
-        if len(parts) not in (5, 6):
-            raise ProtocolError(
-                f"{cmd} expects: key flags exptime bytes [noreply]")
-        noreply = len(parts) == 6
-        if noreply and parts[5] != "noreply":
-            raise ProtocolError(f"unexpected token {parts[5]!r}")
+        # A storage line is followed by a data block; when the line is
+        # malformed, attach the byte count (if readable) so the server
+        # can drain the block instead of parsing payload as commands.
+        recover = (int(parts[4]) if len(parts) > 4 and parts[4].isdigit()
+                   else None)
+
+        def bad(message: str) -> ProtocolError:
+            return ProtocolError(message, data_bytes=recover,
+                                 fatal=recover is None)
+
+        nargs = 6 if cmd == "cas" else 5  # cas carries the unique id
+        if len(parts) not in (nargs, nargs + 1):
+            raise bad(f"{cmd} expects: key flags exptime bytes"
+                      f"{' casunique' if cmd == 'cas' else ''} [noreply]")
+        noreply = len(parts) == nargs + 1
+        if noreply and parts[nargs] != "noreply":
+            raise bad(f"unexpected token {parts[nargs]!r}")
         try:
             flags, exptime, nbytes = int(parts[2]), int(parts[3]), int(parts[4])
         except ValueError as exc:
-            raise ProtocolError(
-                f"{cmd} numeric fields must be integers") from exc
+            raise bad(f"{cmd} numeric fields must be integers") from exc
         if nbytes < 0 or flags < 0:
-            raise ProtocolError("negative bytes/flags")
-        return SetCommand(_check_key(parts[1]), flags, exptime, nbytes,
-                          noreply, verb=cmd)
+            raise bad("negative bytes/flags")
+        cas_unique = None
+        if cmd == "cas":
+            if not parts[5].isdigit():
+                raise bad("cas unique must be an unsigned integer")
+            cas_unique = int(parts[5])
+        try:
+            key = _check_key(parts[1])
+        except ProtocolError as exc:
+            raise bad(str(exc)) from exc
+        return SetCommand(key, flags, exptime, nbytes, noreply, verb=cmd,
+                          cas_unique=cas_unique)
 
     if cmd in ("incr", "decr"):
         if len(parts) not in (3, 4):
@@ -140,14 +179,13 @@ def parse_command(line: bytes) -> Command:
         noreply = len(parts) == 4
         if noreply and parts[3] != "noreply":
             raise ProtocolError(f"unexpected token {parts[3]!r}")
-        try:
-            delta = int(parts[2])
-        except ValueError as exc:
-            raise ProtocolError(f"{cmd} delta must be an integer") from exc
-        if delta < 0:
-            raise ProtocolError("delta must be non-negative")
-        return IncrDecrCommand(_check_key(parts[1]), delta, cmd == "decr",
-                               noreply)
+        # memcached deltas are unsigned ASCII decimals: "+1", " 1" and
+        # "1_0" (all accepted by int()) must be rejected.
+        if not parts[2].isdigit():
+            raise ProtocolError(
+                f"{cmd} delta must be an unsigned decimal integer")
+        return IncrDecrCommand(_check_key(parts[1]), int(parts[2]),
+                               cmd == "decr", noreply)
 
     if cmd == "touch":
         if len(parts) not in (3, 4):
@@ -172,7 +210,8 @@ def parse_command(line: bytes) -> Command:
     if cmd in ("get", "gets"):
         if len(parts) < 2:
             raise ProtocolError("get expects at least one key")
-        return GetCommand(tuple(_check_key(k) for k in parts[1:]))
+        return GetCommand(tuple(_check_key(k) for k in parts[1:]),
+                          with_cas=cmd == "gets")
 
     if cmd == "delete":
         if len(parts) not in (2, 3):
@@ -183,7 +222,11 @@ def parse_command(line: bytes) -> Command:
         return DeleteCommand(_check_key(parts[1]), noreply)
 
     if cmd == "stats":
-        return StatsCommand()
+        if len(parts) == 1:
+            return StatsCommand()
+        if len(parts) == 2 and parts[1].lower() == "detail":
+            return StatsCommand(arg="detail")
+        raise ProtocolError("stats takes no argument or 'detail'")
     if cmd == "version":
         return VersionCommand()
     if cmd == "quit":
@@ -193,10 +236,13 @@ def parse_command(line: bytes) -> Command:
 
 # -- response formatting -----------------------------------------------------
 
-def format_value(key: str, flags: int, data: bytes) -> bytes:
-    """One VALUE block of a get response."""
-    return (f"VALUE {key} {flags} {len(data)}".encode() + CRLF
-            + data + CRLF)
+def format_value(key: str, flags: int, data: bytes,
+                 cas: int | None = None) -> bytes:
+    """One VALUE block of a get (4-field) or gets (5-field) response."""
+    head = f"VALUE {key} {flags} {len(data)}"
+    if cas is not None:
+        head += f" {cas}"
+    return head.encode() + CRLF + data + CRLF
 
 
 def format_get_tail() -> bytes:
@@ -217,6 +263,11 @@ def format_deleted(found: bool) -> bytes:
 
 def format_not_found() -> bytes:
     return b"NOT_FOUND" + CRLF
+
+
+def format_exists() -> bytes:
+    """``cas`` reply: the item changed since its cas id was fetched."""
+    return b"EXISTS" + CRLF
 
 
 def format_touched(found: bool) -> bytes:
@@ -266,3 +317,44 @@ def format_stats(stats: dict[str, object]) -> bytes:
 
 def format_version(version: str) -> bytes:
     return f"VERSION {version}".encode() + CRLF
+
+
+# -- request formatting ------------------------------------------------------
+
+def format_request(cmd: Command) -> bytes:
+    """Render a command back to its request line (without CRLF or data).
+
+    The inverse of :func:`parse_command` — ``parse_command(
+    format_request(cmd)) == cmd`` for every representable command,
+    which the protocol round-trip property test relies on.
+    """
+    if isinstance(cmd, SetCommand):
+        parts = [cmd.verb, cmd.key, str(cmd.flags), str(cmd.exptime),
+                 str(cmd.nbytes)]
+        if cmd.verb == "cas":
+            parts.append(str(cmd.cas_unique))
+        if cmd.noreply:
+            parts.append("noreply")
+        return " ".join(parts).encode()
+    if isinstance(cmd, GetCommand):
+        verb = "gets" if cmd.with_cas else "get"
+        return " ".join([verb, *cmd.keys]).encode()
+    if isinstance(cmd, DeleteCommand):
+        tail = " noreply" if cmd.noreply else ""
+        return f"delete {cmd.key}{tail}".encode()
+    if isinstance(cmd, IncrDecrCommand):
+        verb = "decr" if cmd.decrement else "incr"
+        tail = " noreply" if cmd.noreply else ""
+        return f"{verb} {cmd.key} {cmd.delta}{tail}".encode()
+    if isinstance(cmd, TouchCommand):
+        tail = " noreply" if cmd.noreply else ""
+        return f"touch {cmd.key} {cmd.exptime}{tail}".encode()
+    if isinstance(cmd, FlushAllCommand):
+        return b"flush_all noreply" if cmd.noreply else b"flush_all"
+    if isinstance(cmd, StatsCommand):
+        return b"stats" if cmd.arg is None else f"stats {cmd.arg}".encode()
+    if isinstance(cmd, VersionCommand):
+        return b"version"
+    if isinstance(cmd, QuitCommand):
+        return b"quit"
+    raise TypeError(f"unknown command type {type(cmd).__name__}")

@@ -5,18 +5,25 @@ accounting model: any memcached text client can set/get/delete against
 it, with the allocation policy (PAMA by default) managing slabs.
 
 The server is single-purpose and synchronous-per-connection (threaded);
-it is an example vehicle, not a production network stack.
+it is an example vehicle, not a production network stack.  It is fully
+instrumented through :mod:`repro.obs`: per-command latency histograms,
+byte counters, and the cache's own registry metrics, all exposed over
+the wire via ``stats`` and ``stats detail``.
 """
 
 from __future__ import annotations
 
-import socket
 import socketserver
 import threading
+import time
 
 from repro import __version__
 from repro.cache.cache import SlabCache
+from repro.obs import EventTrace, Registry, flat_items
 from repro.server import protocol as p
+
+#: largest chunk drained at once when resyncing after a bad storage line.
+_DRAIN_CHUNK = 64 * 1024
 
 
 class CacheRequestHandler(socketserver.StreamRequestHandler):
@@ -25,25 +32,72 @@ class CacheRequestHandler(socketserver.StreamRequestHandler):
     server: "CacheServer"
 
     def handle(self) -> None:
+        self.server.c_connections.inc()
         while True:
             line = self.rfile.readline()
             if not line:
                 return
+            self.server.c_bytes_read.inc(len(line))
             line = line.rstrip(b"\r\n")
             if not line:
                 continue
             try:
                 cmd = p.parse_command(line)
             except p.ProtocolError as exc:
-                self.wfile.write(p.format_error(str(exc)))
+                self.server.c_protocol_errors.inc()
+                if exc.data_bytes is not None:
+                    # Malformed storage line with a readable byte count:
+                    # the client still sends the data block, so drain it
+                    # (payload + CRLF) or the payload bytes would be
+                    # parsed as commands.
+                    if not self._drain(exc.data_bytes + 2):
+                        return
+                    self._reply(p.format_error(str(exc)))
+                    continue
+                if exc.fatal:
+                    # Storage line whose data-block length is unknowable:
+                    # the connection cannot be resynced.
+                    self._reply(p.format_error(str(exc)))
+                    return
+                self._reply(p.format_error(str(exc)))
                 continue
             if isinstance(cmd, p.QuitCommand):
                 return
+            started = time.perf_counter()
             try:
-                if not self._dispatch(cmd):
-                    return
+                keep_going = self._dispatch(cmd)
             except BrokenPipeError:  # pragma: no cover - client went away
                 return
+            except Exception as exc:  # noqa: BLE001 - reply, then close
+                # An unexpected failure must not silently kill the
+                # handler thread mid-conversation: tell the client
+                # (SERVER_ERROR, per the memcached protocol) and close.
+                self.server.c_server_errors.inc()
+                try:
+                    self._reply(p.format_server_error(
+                        str(exc) or type(exc).__name__))
+                except OSError:  # pragma: no cover - write raced close
+                    pass
+                return
+            self.server.latency_histogram(_verb_of(cmd)).record(
+                time.perf_counter() - started)
+            if not keep_going:
+                return
+
+    def _reply(self, data: bytes) -> None:
+        self.server.c_bytes_written.inc(len(data))
+        self.wfile.write(data)
+
+    def _drain(self, nbytes: int) -> bool:
+        """Consume ``nbytes`` from the stream; False means EOF."""
+        remaining = nbytes
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, _DRAIN_CHUNK))
+            if not chunk:
+                return False
+            self.server.c_bytes_read.inc(len(chunk))
+            remaining -= len(chunk)
+        return True
 
     def _dispatch(self, cmd: p.Command) -> bool:
         cache = self.server.cache
@@ -51,38 +105,42 @@ class CacheRequestHandler(socketserver.StreamRequestHandler):
         if isinstance(cmd, p.SetCommand):
             data = self.rfile.read(cmd.nbytes)
             trailer = self.rfile.read(2)
-            if len(data) != cmd.nbytes or trailer != p.CRLF:
-                self.wfile.write(p.format_error("bad data chunk"))
-                return True
+            if len(data) != cmd.nbytes or len(trailer) != 2:
+                return False  # short read: the client hung up mid-block
+            self.server.c_bytes_read.inc(len(data) + len(trailer))
+            if trailer != p.CRLF:
+                # Framing is lost (we cannot know where the next command
+                # starts), so reply and drop the connection.
+                self._reply(p.format_error("bad data chunk"))
+                return False
             with lock:
-                ok = self._store(cache, cmd, data)
+                reply = self._store(cache, cmd, data)
             if not cmd.noreply:
-                self.wfile.write(p.format_stored() if ok
-                                 else p.format_not_stored())
+                self._reply(reply)
             return True
         if isinstance(cmd, p.IncrDecrCommand):
             with lock:
                 result = self._incr_decr(cache, cmd)
             if not cmd.noreply:
                 if result is None:
-                    self.wfile.write(p.format_not_found())
+                    self._reply(p.format_not_found())
                 elif isinstance(result, bytes):
-                    self.wfile.write(p.format_error(result.decode()))
+                    self._reply(p.format_error(result.decode()))
                 else:
-                    self.wfile.write(p.format_number(result))
+                    self._reply(p.format_number(result))
             return True
         if isinstance(cmd, p.TouchCommand):
             with lock:
                 found = cache.touch(
                     cmd.key, p.resolve_exptime(cmd.exptime, cache.clock()))
             if not cmd.noreply:
-                self.wfile.write(p.format_touched(found))
+                self._reply(p.format_touched(found))
             return True
         if isinstance(cmd, p.FlushAllCommand):
             with lock:
                 cache.flush_all()
             if not cmd.noreply:
-                self.wfile.write(p.format_ok())
+                self._reply(p.format_ok())
             return True
         if isinstance(cmd, p.GetCommand):
             out = bytearray()
@@ -91,51 +149,54 @@ class CacheRequestHandler(socketserver.StreamRequestHandler):
                     item = cache.get(key)
                     if item is not None and item.value is not None:
                         flags, data = item.value
-                        out += p.format_value(key, flags, data)
+                        out += p.format_value(
+                            key, flags, data,
+                            cas=item.cas if cmd.with_cas else None)
             out += p.format_get_tail()
-            self.wfile.write(bytes(out))
+            self._reply(bytes(out))
             return True
         if isinstance(cmd, p.DeleteCommand):
             with lock:
                 found = cache.delete(cmd.key)
             if not cmd.noreply:
-                self.wfile.write(p.format_deleted(found))
+                self._reply(p.format_deleted(found))
             return True
         if isinstance(cmd, p.StatsCommand):
-            with lock:
-                stats = cache.stats.snapshot()
-                stats["policy"] = cache.policy.name
-                stats["items"] = len(cache)
-                stats["slabs_total"] = cache.pool.total
-                stats["slabs_free"] = cache.pool.free
-            self.wfile.write(p.format_stats(stats))
+            self._reply(p.format_stats(self.server.gather_stats(cmd.arg)))
             return True
         if isinstance(cmd, p.VersionCommand):
-            self.wfile.write(p.format_version(f"repro-pama/{__version__}"))
+            self._reply(p.format_version(f"repro-pama/{__version__}"))
             return True
         raise AssertionError(f"unhandled command {cmd!r}")  # pragma: no cover
 
     @staticmethod
-    def _store(cache, cmd: p.SetCommand, data: bytes) -> bool:
-        """Apply a storage verb (set/add/replace/append/prepend)."""
+    def _store(cache, cmd: p.SetCommand, data: bytes) -> bytes:
+        """Apply a storage verb; returns the reply line."""
         expires = p.resolve_exptime(cmd.exptime, cache.clock())
         existing = cache.get(cmd.key)  # honours expiry
         if cmd.verb == "add" and existing is not None:
-            return False
+            return p.format_not_stored()
         if cmd.verb == "replace" and existing is None:
-            return False
+            return p.format_not_stored()
+        if cmd.verb == "cas":
+            if existing is None:
+                return p.format_not_found()
+            if existing.cas != cmd.cas_unique:
+                return p.format_exists()
         if cmd.verb in ("append", "prepend"):
             if existing is None or existing.value is None:
-                return False
+                return p.format_not_stored()
             old_flags, old_data = existing.value
             data = (old_data + data if cmd.verb == "append"
                     else data + old_data)
             # concatenation keeps the original flags/penalty/expiry
-            return cache.set(cmd.key, len(cmd.key), len(data),
-                             existing.penalty, value=(old_flags, data),
-                             expires_at=existing.expires_at)
-        return cache.set(cmd.key, len(cmd.key), cmd.nbytes, cmd.penalty,
-                         value=(cmd.flags, data), expires_at=expires)
+            ok = cache.set(cmd.key, len(cmd.key), len(data),
+                           existing.penalty, value=(old_flags, data),
+                           expires_at=existing.expires_at)
+            return p.format_stored() if ok else p.format_not_stored()
+        ok = cache.set(cmd.key, len(cmd.key), cmd.nbytes, cmd.penalty,
+                       value=(cmd.flags, data), expires_at=expires)
+        return p.format_stored() if ok else p.format_not_stored()
 
     @staticmethod
     def _incr_decr(cache, cmd: p.IncrDecrCommand):
@@ -144,12 +205,11 @@ class CacheRequestHandler(socketserver.StreamRequestHandler):
         if item is None or item.value is None:
             return None
         flags, data = item.value
-        try:
-            current = int(data)
-            if current < 0:
-                raise ValueError
-        except ValueError:
+        # memcached treats values as unsigned ASCII decimals: "+10",
+        # " 10 " and "1_0" all pass int() but are not valid numbers.
+        if not data.isdigit():
             return b"cannot increment or decrement non-numeric value"
+        current = int(data)
         if cmd.decrement:
             new = max(0, current - cmd.delta)  # memcached clamps at 0
         else:
@@ -160,16 +220,80 @@ class CacheRequestHandler(socketserver.StreamRequestHandler):
         return new
 
 
+def _verb_of(cmd: p.Command) -> str:
+    """The label under which a command's latency is recorded."""
+    if isinstance(cmd, p.SetCommand):
+        return cmd.verb
+    if isinstance(cmd, p.GetCommand):
+        return "gets" if cmd.with_cas else "get"
+    if isinstance(cmd, p.IncrDecrCommand):
+        return "decr" if cmd.decrement else "incr"
+    return {p.DeleteCommand: "delete", p.TouchCommand: "touch",
+            p.FlushAllCommand: "flush_all", p.StatsCommand: "stats",
+            p.VersionCommand: "version"}.get(type(cmd), "other")
+
+
 class CacheServer(socketserver.ThreadingTCPServer):
     """TCP server wrapping one SlabCache (coarse-grained lock)."""
 
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address: tuple[str, int], cache: SlabCache) -> None:
+    def __init__(self, address: tuple[str, int], cache: SlabCache,
+                 registry: Registry | None = None,
+                 events: EventTrace | None = None) -> None:
         super().__init__(address, CacheRequestHandler)
         self.cache = cache
         self.lock = threading.Lock()
+        # The server always runs instrumented (it is not the simulate
+        # hot path); reuse whatever the cache already has attached.
+        self.registry = registry or cache.obs or Registry()
+        self.events = events or cache.events or EventTrace()
+        if cache.obs is None:
+            cache.attach_obs(self.registry, self.events)
+        counter = self.registry.counter
+        self.c_connections = counter(
+            "server_connections_total", "client connections accepted")
+        self.c_bytes_read = counter(
+            "server_bytes_read_total", "bytes read from clients")
+        self.c_bytes_written = counter(
+            "server_bytes_written_total", "bytes written to clients")
+        self.c_protocol_errors = counter(
+            "server_protocol_errors_total", "malformed request lines")
+        self.c_server_errors = counter(
+            "server_errors_total", "unexpected errors answered SERVER_ERROR")
+        self._latency: dict[str, object] = {}
+
+    def latency_histogram(self, verb: str):
+        """Per-command-verb latency histogram (created on first use)."""
+        hist = self._latency.get(verb)
+        if hist is None:
+            hist = self.registry.histogram(
+                "server_cmd_latency_seconds",
+                "wall-clock time to serve one command", lo=1e-7,
+                growth=1.5, cmd=verb)
+            self._latency[verb] = hist
+        return hist
+
+    def gather_stats(self, arg: str | None) -> dict[str, object]:
+        """The ``stats`` / ``stats detail`` payload."""
+        with self.lock:
+            self.cache.update_obs_gauges()
+            stats: dict[str, object] = self.cache.stats.snapshot()
+            stats["policy"] = self.cache.policy.name
+            stats["items"] = len(self.cache)
+            stats["slabs_total"] = self.cache.pool.total
+            stats["slabs_free"] = self.cache.pool.free
+            if arg == "detail":
+                # every registry metric, histograms expanded to
+                # count/sum/mean/min/max + quantiles
+                stats.update(flat_items(self.registry))
+                stats["events_recorded"] = self.events.recorded
+                stats["events_dropped"] = self.events.dropped
+            else:
+                # registry counters/gauges only (flat quick view)
+                stats.update(flat_items(self.registry, histograms=False))
+        return stats
 
     @property
     def port(self) -> int:

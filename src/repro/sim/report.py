@@ -104,13 +104,54 @@ def ascii_chart(series: Mapping[str, Sequence[float]], width: int = 72,
 
 
 def comparison_summary(results: Mapping[str, object]) -> str:
-    """Summary table for a dict of policy → SimulationResult."""
+    """Summary table for a dict of policy → SimulationResult.
+
+    When any result carries service-time quantiles (runs made with an
+    obs registry attached), a p99 column is appended so comparisons
+    rank on tails, not just means.
+    """
+    with_tails = any(getattr(res, "service_quantiles", None)
+                     for res in results.values())
     rows = []
     for name, res in results.items():
-        rows.append([name, f"{res.hit_ratio:.4f}",
-                     f"{res.avg_service_time * 1e3:.3f}",
-                     res.cache_stats.get("evictions", 0),
-                     res.cache_stats.get("migrations", 0)])
-    return format_table(
-        ["policy", "hit_ratio", "avg_service_ms", "evictions", "migrations"],
-        rows)
+        row = [name, f"{res.hit_ratio:.4f}",
+               f"{res.avg_service_time * 1e3:.3f}",
+               res.cache_stats.get("evictions", 0),
+               res.cache_stats.get("migrations", 0)]
+        if with_tails:
+            quantiles = getattr(res, "service_quantiles", None) or {}
+            p99 = quantiles.get("p99")
+            row.append(f"{p99 * 1e3:.3f}" if p99 is not None else "-")
+        rows.append(row)
+    headers = ["policy", "hit_ratio", "avg_service_ms", "evictions",
+               "migrations"]
+    if with_tails:
+        headers.append("p99_ms")
+    return format_table(headers, rows)
+
+
+def tail_summary(results: Mapping[str, object]) -> str:
+    """Tail service-time table (ms) for results carrying quantiles.
+
+    Rows come from ``SimulationResult.service_quantiles``, which the
+    simulator fills when an obs registry is active; results without
+    quantiles are skipped (a note says so).
+    """
+    quantile_names = ("p50", "p90", "p99", "p999")
+    rows, skipped = [], []
+    for name, res in results.items():
+        quantiles = getattr(res, "service_quantiles", None) or {}
+        if not quantiles:
+            skipped.append(name)
+            continue
+        rows.append([name] + [f"{quantiles[q] * 1e3:.3f}"
+                              if q in quantiles else "-"
+                              for q in quantile_names])
+    if not rows:
+        return ("(no tail data: run with an obs registry attached, e.g. "
+                "repro.obs.enable())")
+    table = format_table(["policy"] + [f"{q}_ms" for q in quantile_names],
+                         rows)
+    if skipped:
+        table += "\n(no tail data for: " + ", ".join(skipped) + ")"
+    return table

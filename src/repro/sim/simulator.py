@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro import obs as _obs
 from repro.cache.cache import SlabCache
 from repro.sim.metrics import MetricsCollector, WindowStats
 from repro.sim.service import ServiceTimeModel
@@ -34,6 +35,12 @@ class SimulationResult:
     final_class_slabs: dict[int, int] = field(default_factory=dict)
     #: final slab allocation per queue (class, bin)
     final_queue_slabs: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: service-time tail estimates ("p50"/"p90"/"p99"/"p999", seconds),
+    #: populated only when an obs registry was active for the run.
+    service_quantiles: dict[str, float] = field(default_factory=dict)
+    #: same split by outcome (hit service times / miss penalties).
+    hit_quantiles: dict[str, float] = field(default_factory=dict)
+    miss_quantiles: dict[str, float] = field(default_factory=dict)
 
     def hit_ratio_series(self) -> list[float]:
         return [w.hit_ratio for w in self.windows]
@@ -65,11 +72,15 @@ class Simulator:
 
     def __init__(self, cache: SlabCache,
                  service_model: ServiceTimeModel | None = None,
-                 window_gets: int = 100_000, fill_on_miss: bool = True) -> None:
+                 window_gets: int = 100_000, fill_on_miss: bool = True,
+                 obs=None) -> None:
         self.cache = cache
         self.service_model = service_model or ServiceTimeModel()
         self.fill_on_miss = fill_on_miss
         self.window_gets = window_gets
+        #: optional obs registry for per-request histograms; falls back
+        #: to the module-level registry when observability is enabled.
+        self.obs = obs
         # Rebuilt at the top of every run(); kept as an attribute so a
         # run's collector stays inspectable after it returns.
         self.metrics = MetricsCollector(window_gets, self._snapshot)
@@ -94,21 +105,64 @@ class Simulator:
         cache_set = cache.set
         record_hit = metrics.record_hit
         record_miss = metrics.record_miss
+        # Per-request service-time histograms, only when observability
+        # is on: the disabled path costs one ``is not None`` per GET.
+        registry = self.obs if self.obs is not None else _obs.get_registry()
+        hist = hist_hit = hist_miss = None
+        if registry is not None:
+            # Labelled by policy so back-to-back runs against one shared
+            # registry (e.g. a serial comparison) keep separate tails.
+            policy = cache.policy.name
+            hist = registry.histogram(
+                "sim_service_time_seconds",
+                "per-request GET service time", lo=1e-6, growth=1.25,
+                policy=policy)
+            hist_hit = registry.histogram(
+                "sim_hit_time_seconds",
+                "per-request service time of GET hits",
+                lo=1e-6, growth=1.25, policy=policy)
+            hist_miss = registry.histogram(
+                "sim_miss_penalty_seconds",
+                "per-request penalty of GET misses", lo=1e-6, growth=1.25,
+                policy=policy)
 
+        # Two loop bodies, selected once: the obs-disabled replay runs
+        # the seed hot loop with zero per-request instrumentation cost.
         started = time.perf_counter()
-        for op, key, key_size, value_size, penalty in trace.iter_rows():
-            if op == 0:  # GET
-                item = cache_get(key, (key_size, value_size, penalty))
-                if item is not None:
-                    record_hit(service.hit(item.total_size))
-                else:
-                    record_miss(service.miss(penalty))
-                    if fill:
-                        cache_set(key, key_size, value_size, penalty)
-            elif op == 1:  # SET
-                cache_set(key, key_size, value_size, penalty)
-            else:  # DELETE
-                cache.delete(key)
+        if hist is None:
+            for op, key, key_size, value_size, penalty in trace.iter_rows():
+                if op == 0:  # GET
+                    item = cache_get(key, (key_size, value_size, penalty))
+                    if item is not None:
+                        record_hit(service.hit(item.total_size))
+                    else:
+                        record_miss(service.miss(penalty))
+                        if fill:
+                            cache_set(key, key_size, value_size, penalty)
+                elif op == 1:  # SET
+                    cache_set(key, key_size, value_size, penalty)
+                else:  # DELETE
+                    cache.delete(key)
+        else:
+            for op, key, key_size, value_size, penalty in trace.iter_rows():
+                if op == 0:  # GET
+                    item = cache_get(key, (key_size, value_size, penalty))
+                    if item is not None:
+                        cost = service.hit(item.total_size)
+                        record_hit(cost)
+                        hist.record(cost)
+                        hist_hit.record(cost)
+                    else:
+                        cost = service.miss(penalty)
+                        record_miss(cost)
+                        hist.record(cost)
+                        hist_miss.record(cost)
+                        if fill:
+                            cache_set(key, key_size, value_size, penalty)
+                elif op == 1:  # SET
+                    cache_set(key, key_size, value_size, penalty)
+                else:  # DELETE
+                    cache.delete(key)
         elapsed = time.perf_counter() - started
         metrics.flush()
 
@@ -122,13 +176,19 @@ class Simulator:
             elapsed_seconds=elapsed,
             final_class_slabs=cache.class_slab_distribution(),
             final_queue_slabs=cache.slab_distribution(),
+            service_quantiles=hist.quantiles() if hist is not None else {},
+            hit_quantiles=(hist_hit.quantiles()
+                           if hist_hit is not None else {}),
+            miss_quantiles=(hist_miss.quantiles()
+                            if hist_miss is not None else {}),
         )
 
 
 def simulate(trace: Trace, cache: SlabCache, *,
              hit_time: float = 1e-4, window_gets: int = 100_000,
-             fill_on_miss: bool = True) -> SimulationResult:
+             fill_on_miss: bool = True, obs=None) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     sim = Simulator(cache, ServiceTimeModel(hit_time=hit_time),
-                    window_gets=window_gets, fill_on_miss=fill_on_miss)
+                    window_gets=window_gets, fill_on_miss=fill_on_miss,
+                    obs=obs)
     return sim.run(trace)

@@ -1,0 +1,48 @@
+"""Unit tests for the obs event trace ring buffer."""
+
+import pytest
+
+from repro.obs import EventTrace
+
+
+class TestEventTrace:
+    def test_record_and_inspect(self):
+        t = EventTrace(capacity=8)
+        t.record("eviction", 10, key="a", size=64)
+        t.record("slab_migration", 11, donor=(0, 1), receiver=(0, 2))
+        assert len(t) == 2
+        assert t.recorded == 2
+        assert t.dropped == 0
+        assert t.kinds() == {"eviction": 1, "slab_migration": 1}
+        (ev,) = t.of_kind("eviction")
+        assert ev.tick == 10
+        assert ev.as_dict() == {"kind": "eviction", "tick": 10,
+                                "key": "a", "size": 64}
+
+    def test_ring_drops_oldest(self):
+        t = EventTrace(capacity=3)
+        for i in range(5):
+            t.record("e", i)
+        assert len(t) == 3
+        assert t.recorded == 5
+        assert t.dropped == 2
+        assert [e.tick for e in t] == [2, 3, 4]
+
+    def test_snapshot_tail(self):
+        t = EventTrace(capacity=10)
+        for i in range(4):
+            t.record("e", i)
+        assert [d["tick"] for d in t.snapshot()] == [0, 1, 2, 3]
+        assert [d["tick"] for d in t.snapshot(last=2)] == [2, 3]
+
+    def test_clear(self):
+        t = EventTrace(capacity=4)
+        t.record("e", 1)
+        t.clear()
+        assert len(t) == 0
+        assert t.recorded == 0
+        assert t.kinds() == {}
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            EventTrace(capacity=0)

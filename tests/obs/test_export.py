@@ -1,0 +1,107 @@
+"""Tests for snapshot/JSON/Prometheus export and snapshot diffing."""
+
+import json
+
+from repro.obs import (EventTrace, Registry, diff_snapshots, flat_items,
+                       format_diff, snapshot, to_json, to_prometheus)
+
+
+def _populated_registry() -> Registry:
+    r = Registry()
+    r.counter("cache_gets_total", "GET lookups").inc(5)
+    r.gauge("cache_items", "live items").set(3)
+    h = r.histogram("latency_seconds", "cmd latency", lo=1e-3, growth=2.0,
+                    nbuckets=8, cmd="get")
+    for v in (0.002, 0.004, 0.5):
+        h.record(v)
+    return r
+
+
+class TestSnapshot:
+    def test_structure(self):
+        doc = snapshot(_populated_registry(), meta={"run": "x"})
+        assert doc["meta"] == {"run": "x"}
+        assert doc["counters"][0]["name"] == "cache_gets_total"
+        assert doc["counters"][0]["value"] == 5
+        (hist,) = doc["histograms"]
+        assert hist["labels"] == {"cmd": "get"}
+        assert hist["count"] == 3
+        assert hist["min"] == 0.002
+        assert set(hist["quantiles"]) == {"p50", "p90", "p99", "p999"}
+
+    def test_includes_events_when_given(self):
+        trace = EventTrace(capacity=4)
+        trace.record("eviction", 1, key="k")
+        doc = snapshot(Registry(), events=trace)
+        assert doc["events"]["recorded"] == 1
+        assert doc["events"]["kinds"] == {"eviction": 1}
+        assert doc["events"]["tail"][0]["key"] == "k"
+
+
+class TestJson:
+    def test_output_is_valid_json_with_inf_spelled_out(self):
+        text = to_json(_populated_registry())
+        doc = json.loads(text)  # must parse
+        (hist,) = doc["histograms"]
+        assert hist["buckets"][-1][0] == "+Inf"
+        assert hist["buckets"][-1][1] == 3
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = to_prometheus(_populated_registry())
+        lines = text.splitlines()
+        assert "# TYPE cache_gets_total counter" in lines
+        assert "cache_gets_total 5" in lines
+        assert "# TYPE latency_seconds histogram" in lines
+        assert 'latency_seconds_bucket{cmd="get",le="+Inf"} 3' in lines
+        assert 'latency_seconds_count{cmd="get"} 3' in lines
+        assert text.endswith("\n")
+
+    def test_label_escaping(self):
+        r = Registry()
+        r.counter("c", label='va"l\\ue').inc()
+        text = to_prometheus(r)
+        assert r'label="va\"l\\ue"' in text
+
+
+class TestFlatItems:
+    def test_counters_intified_and_histograms_expanded(self):
+        items = dict(flat_items(_populated_registry()))
+        assert items["cache_gets_total"] == 5
+        assert isinstance(items["cache_gets_total"], int)
+        assert items["latency_seconds{cmd=get}_count"] == 3
+        assert "latency_seconds{cmd=get}_p99" in items
+        # stats wire format: keys must not contain spaces
+        assert all(" " not in k for k in items)
+
+    def test_histograms_can_be_skipped(self):
+        items = dict(flat_items(_populated_registry(), histograms=False))
+        assert "cache_gets_total" in items
+        assert not any(k.startswith("latency_seconds") for k in items)
+
+
+class TestDiff:
+    def test_diff_and_format(self):
+        r = _populated_registry()
+        old = snapshot(r)
+        r.counter("cache_gets_total").inc(7)
+        r.gauge("cache_items").set(1)
+        r.histogram("latency_seconds", cmd="get").record(0.008)
+        deltas = diff_snapshots(old, snapshot(r))
+        assert deltas["cache_gets_total"] == 7
+        assert deltas["cache_items"] == -2
+        assert deltas["latency_seconds{cmd=get}_count"] == 1
+        rendered = format_diff(deltas)
+        assert "cache_gets_total" in rendered
+        assert "+7" in rendered
+
+    def test_missing_old_metric_diffs_against_zero(self):
+        r = Registry()
+        r.counter("fresh").inc(3)
+        deltas = diff_snapshots({"counters": []}, snapshot(r))
+        assert deltas["fresh"] == 3
+
+    def test_format_diff_skips_zero_rows(self):
+        assert format_diff({"a": 0.0}) == "(no change)"
+        assert "a" in format_diff({"a": 0.0}, skip_zero=False)

@@ -1,0 +1,164 @@
+"""Unit tests for the obs metrics registry."""
+
+import random
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, Registry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("requests_total")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative_increment(self):
+        c = Counter("requests_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    @pytest.mark.parametrize("name", ["", "9lives", "has space", "a-b"])
+    def test_rejects_invalid_names(self, name):
+        with pytest.raises(ValueError):
+            Counter(name)
+
+    def test_accepts_prometheus_style_names(self):
+        Counter("cache_gets_total")
+        Counter("repro:cache_hits")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("temperature")
+        g.set(10.0)
+        g.inc(5.0)
+        g.dec(2.0)
+        assert g.value == 13.0
+
+
+class TestHistogram:
+    def test_record_updates_aggregates(self):
+        h = Histogram("latency_seconds", lo=1e-3, growth=2.0, nbuckets=10)
+        for v in (0.002, 0.004, 0.016):
+            h.record(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(0.022)
+        assert h.mean == pytest.approx(0.022 / 3)
+        assert h.min == 0.002
+        assert h.max == 0.016
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Histogram("h", lo=0.0)
+        with pytest.raises(ValueError):
+            Histogram("h", growth=1.0)
+        with pytest.raises(ValueError):
+            Histogram("h", nbuckets=0)
+
+    def test_empty_histogram_quantiles(self):
+        h = Histogram("h")
+        assert h.quantile(0.5) == 0.0
+        assert h.quantiles() == {}
+        assert h.mean == 0.0
+
+    def test_quantile_rejects_out_of_range(self):
+        h = Histogram("h")
+        for q in (0.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                h.quantile(q)
+
+    def test_single_bucket_histogram(self):
+        # Regression: bucket 0's lower bound must come from `growth`,
+        # not bounds[1], which does not exist when nbuckets == 1.
+        h = Histogram("h", lo=1.0, growth=2.0, nbuckets=1)
+        h.record(0.8)
+        assert h.quantile(0.5) == pytest.approx(0.8)
+
+    def test_overflow_bucket_reports_max(self):
+        h = Histogram("h", lo=1.0, growth=2.0, nbuckets=3)  # bounds 1,2,4
+        h.record(100.0)
+        assert h.quantile(1.0) == 100.0
+        assert h.counts[-1] == 1
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = Histogram("h", lo=1e-6, growth=2.0, nbuckets=40)
+        h.record(0.5)
+        # A single sample: every quantile must be exactly that sample.
+        for q in (0.01, 0.5, 0.999, 1.0):
+            assert h.quantile(q) == pytest.approx(0.5)
+
+    def test_quantile_accuracy_on_random_samples(self):
+        """Estimates stay within the log-bucket relative-error bound.
+
+        The geometric-midpoint estimator is accurate to a factor of
+        sqrt(growth) within a bucket; comparing against the *exact*
+        sample percentile adds at most one bucket of rank slop, so a
+        factor-of-`growth` tolerance is the documented contract.
+        """
+        rng = random.Random(42)
+        growth = 1.2
+        h = Histogram("h", lo=1e-6, growth=growth, nbuckets=96)
+        samples = [rng.lognormvariate(-7.0, 1.0) for _ in range(20_000)]
+        for s in samples:
+            h.record(s)
+        samples.sort()
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = samples[min(len(samples) - 1, int(q * len(samples)))]
+            estimate = h.quantile(q)
+            assert exact / growth <= estimate <= exact * growth, (
+                f"q={q}: estimate {estimate} vs exact {exact}")
+
+    def test_named_quantiles_keys(self):
+        h = Histogram("h")
+        h.record(1.0)
+        assert set(h.quantiles()) == {"p50", "p90", "p99", "p999"}
+
+    def test_cumulative_buckets(self):
+        h = Histogram("h", lo=1.0, growth=2.0, nbuckets=3)  # bounds 1,2,4
+        for v in (0.5, 1.5, 3.0, 99.0):
+            h.record(v)
+        buckets = h.cumulative_buckets()
+        assert buckets[-1] == (float("inf"), 4)
+        cums = [c for _, c in buckets]
+        assert cums == sorted(cums)  # cumulative counts are monotone
+        assert buckets[0] == (1.0, 1)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        r = Registry()
+        assert r.counter("hits") is r.counter("hits")
+        assert len(r) == 1
+
+    def test_labels_create_distinct_children(self):
+        r = Registry()
+        a = r.counter("cmds", cmd="get")
+        b = r.counter("cmds", cmd="set")
+        a.inc()
+        assert a is not b
+        assert b.value == 0
+        # label order must not matter
+        assert r.counter("multi", a="1", b="2") is r.counter(
+            "multi", b="2", a="1")
+
+    def test_type_conflict_raises(self):
+        r = Registry()
+        r.counter("metric")
+        with pytest.raises(TypeError):
+            r.gauge("metric")
+
+    def test_get_and_collect(self):
+        r = Registry()
+        r.gauge("z_metric")
+        r.counter("a_metric")
+        assert r.get("a_metric").kind == "counter"
+        assert r.get("missing") is None
+        assert [m.name for m in r.collect()] == ["a_metric", "z_metric"]
+
+    def test_histogram_kwargs_forwarded(self):
+        r = Registry()
+        h = r.histogram("lat", lo=0.5, growth=3.0, nbuckets=2)
+        assert h.bounds == [0.5, 1.5]

@@ -80,6 +80,47 @@ class TestCluster:
         assert "skipping 64 nodes" in err
 
 
+class TestObs:
+    def test_dump_json_and_prom_and_diff(self, tmp_path, capsys):
+        prefix = str(tmp_path / "snap")
+        assert main(["obs", "dump", "--requests", "4000", "--scale", "0.02",
+                     "--cache-size", "1MiB", "--slab-size", "64KiB",
+                     "--window", "1000", "--format", "both",
+                     "--out", prefix]) == 0
+        capsys.readouterr()
+
+        import json
+        doc = json.loads((tmp_path / "snap.json").read_text())
+        names = {c["name"] for c in doc["counters"]}
+        assert "cache_gets_total" in names
+        assert doc["meta"]["policy"] == "pama"
+        assert doc["events"]["recorded"] >= 0
+        prom = (tmp_path / "snap.prom").read_text()
+        assert "# TYPE cache_gets_total counter" in prom
+        assert "sim_service_time_seconds_bucket" in prom
+
+        # a second, longer replay diffs against the first
+        assert main(["obs", "dump", "--requests", "6000", "--scale", "0.02",
+                     "--cache-size", "1MiB", "--slab-size", "64KiB",
+                     "--window", "1000", "--out", str(tmp_path / "b.json"),
+                     "--seed", "9"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", prefix + ".json",
+                     str(tmp_path / "b.json")]) == 0
+        out = capsys.readouterr().out
+        assert "cache_gets_total" in out
+
+    def test_dump_to_stdout(self, capsys):
+        assert main(["obs", "dump", "--requests", "2000", "--scale", "0.02",
+                     "--cache-size", "1MiB", "--slab-size", "64KiB",
+                     "--window", "1000", "--format", "prom"]) == 0
+        assert "cache_gets_total" in capsys.readouterr().out
+
+    def test_both_requires_out(self):
+        with pytest.raises(SystemExit):
+            main(["obs", "dump", "--requests", "100", "--format", "both"])
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
