@@ -1,0 +1,105 @@
+"""Chaos bench — fault-layer cost and the brownout headline claim.
+
+Two questions:
+
+1. **What does resilience cost when nothing fails?**  The routed path
+   (successor walk, breaker gate, latency channel) only runs when an
+   injector is attached; with ``faults=None`` the cluster takes the
+   exact pre-fault code path.  We time both — plus an *empty-plan*
+   injector, the worst honest baseline for the resilient path — and
+   assert the no-injector run matches the empty-plan run result for
+   result equality (the byte-identical guard) while reporting the
+   wall-clock overhead of the armed path.
+
+2. **Does PAMA's advantage widen when the backend misbehaves?**  The
+   paper's premise is that penalty-aware allocation matters most when
+   penalties are volatile; the ``backend-brownout`` scenario triples
+   miss penalties mid-run, and PAMA's service-time advantage over
+   pre-PAMA must grow.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import write_csv
+from repro._util import MIB
+from repro.cache import SizeClassConfig
+from repro.cluster import CacheCluster
+from repro.faults import FaultInjector, FaultPlan, run_scenario
+from repro.policies import make_policy
+from repro.sim.report import series_csv
+from repro.sim.simulator import simulate
+from repro.traces import ETC, generate
+
+REQUESTS = 120_000
+WINDOW = 30_000
+SCALE = 0.1
+NODES = 2
+PER_NODE = 4 * MIB
+ROUNDS = 5
+
+
+def _cluster(faults):
+    return CacheCluster([f"node{i}" for i in range(NODES)], PER_NODE,
+                        lambda: make_policy("pama", value_window=WINDOW // 2),
+                        size_classes=SizeClassConfig(slab_size=64 << 10),
+                        faults=faults)
+
+
+def bench_fault_layer_disabled_overhead():
+    trace = generate(ETC.scaled(SCALE), REQUESTS, seed=7)
+
+    def run(armed: bool):
+        faults = FaultInjector(FaultPlan()) if armed else None
+        cluster = _cluster(faults)
+        started = time.perf_counter()
+        result = simulate(trace, cluster, window_gets=WINDOW, faults=faults)
+        return time.perf_counter() - started, result
+
+    best = {False: float("inf"), True: float("inf")}
+    results = {}
+    for round_idx in range(ROUNDS):
+        order = (False, True) if round_idx % 2 == 0 else (True, False)
+        for armed in order:
+            elapsed, result = run(armed)
+            best[armed] = min(best[armed], elapsed)
+            results[armed] = result
+
+    # The byte-identical guard: an empty plan may cost wall-clock but
+    # must not change a single metric.
+    assert results[True].hit_ratio == results[False].hit_ratio
+    assert (results[True].avg_service_time
+            == results[False].avg_service_time)
+    assert ([w.hit_ratio for w in results[True].windows]
+            == [w.hit_ratio for w in results[False].windows])
+
+    overhead = best[True] / best[False] - 1.0
+    print(f"\nfaults=None (pre-fault path):  {best[False] * 1e3:8.1f} ms")
+    print(f"empty-plan injector (armed):   {best[True] * 1e3:8.1f} ms "
+          f"({overhead:+.2%})")
+
+
+def bench_chaos_brownout_widens_pama_advantage():
+    trace = generate(ETC.scaled(SCALE), REQUESTS, seed=101)
+    report = run_scenario("backend-brownout", trace,
+                          policies=["pre-pama", "pama"], node_count=NODES,
+                          capacity_bytes=PER_NODE, window_gets=WINDOW,
+                          seed=7)
+    print()
+    print(report.format())
+    base_adv, fault_adv = report.advantage()
+    series = {}
+    for name, outcome in report.outcomes.items():
+        series[f"{name}_base"] = outcome.baseline.service_time_series()
+        series[f"{name}_fault"] = outcome.faulted.service_time_series()
+    write_csv("chaos_brownout_service_time.csv", series_csv(series))
+    assert base_adv > 0, "PAMA should beat pre-PAMA fault-free here"
+    assert fault_adv > base_adv, (
+        f"brownout should widen PAMA's advantage: "
+        f"{base_adv:.6f} -> {fault_adv:.6f}")
+
+
+if __name__ == "__main__":
+    bench_fault_layer_disabled_overhead()
+    bench_chaos_brownout_widens_pama_advantage()

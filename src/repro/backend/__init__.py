@@ -1,5 +1,5 @@
 """Simulated back-end store (the source of miss penalties)."""
 
-from repro.backend.database import SimulatedBackend
+from repro.backend.database import BackendError, SimulatedBackend
 
-__all__ = ["SimulatedBackend"]
+__all__ = ["SimulatedBackend", "BackendError"]

@@ -15,6 +15,10 @@ import math
 from repro.traces.penalty import PenaltyModel
 
 
+class BackendError(RuntimeError):
+    """The backend refused or failed a fetch (injected outage)."""
+
+
 class SimulatedBackend:
     """Recompute-on-miss backend with diurnal load modulation.
 
@@ -24,11 +28,17 @@ class SimulatedBackend:
         diurnal_amplitude: peak-to-mean load swing; 0.5 gives the
             paper's ~2x trough-to-peak variation.
         diurnal_period: seconds per load cycle.
+        faults: optional :class:`~repro.faults.injector.FaultInjector`;
+            its plan's backend faults then apply to every fetch —
+            latency spikes multiply the cost, error bursts raise
+            :class:`BackendError`.  With None, fetch behaviour is
+            exactly the pre-fault code path.
     """
 
     def __init__(self, penalty_model: PenaltyModel | None = None,
                  diurnal_amplitude: float = 0.5,
-                 diurnal_period: float = 86_400.0) -> None:
+                 diurnal_period: float = 86_400.0,
+                 faults=None) -> None:
         if not 0.0 <= diurnal_amplitude < 1.0:
             raise ValueError("diurnal_amplitude must be in [0, 1)")
         if diurnal_period <= 0:
@@ -36,7 +46,9 @@ class SimulatedBackend:
         self.penalty_model = penalty_model or PenaltyModel()
         self.diurnal_amplitude = diurnal_amplitude
         self.diurnal_period = diurnal_period
+        self.faults = faults
         self.fetches = 0
+        self.errors = 0
         self.total_cost = 0.0
 
     def load_factor(self, now: float) -> float:
@@ -44,14 +56,25 @@ class SimulatedBackend:
         phase = 2.0 * math.pi * (now / self.diurnal_period)
         return 1.0 + self.diurnal_amplitude * math.sin(phase)
 
-    def fetch(self, key: int, size: int, now: float = 0.0) -> float:
+    def fetch(self, key: int, size: int, now: float = 0.0,
+              tick: int | None = None) -> float:
         """Recompute the value for ``key``; returns the time it cost.
 
         The caller treats the return value as the miss penalty for this
-        fetch.
+        fetch.  ``tick`` pins the fault clock; it defaults to the
+        injector's current tick when faults are attached.
         """
         base = self.penalty_model.penalty_for(key, size)
         cost = base * self.load_factor(now)
+        if self.faults is not None:
+            t = self.faults.tick if tick is None else tick
+            t = max(t, 0)
+            if self.faults.plan.backend_error(t):
+                self.errors += 1
+                self.faults.count("backend_error")
+                self.faults.event("backend_error", key=key)
+                raise BackendError(f"injected backend error at tick {t}")
+            cost *= self.faults.plan.backend_multiplier(t)
         self.fetches += 1
         self.total_cost += cost
         return cost

@@ -232,6 +232,48 @@ def cmd_obs(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from repro import obs
+    from repro.faults import ResilienceConfig, run_scenario, scenario_names
+
+    if args.list:
+        for name in scenario_names():
+            print(name)
+        return 0
+    if not args.scenario:
+        print("chaos: a scenario name is required (or --list)",
+              file=sys.stderr)
+        return 2
+    if args.scenario not in scenario_names():
+        print(f"unknown scenario {args.scenario!r}; "
+              f"choose from {scenario_names()}", file=sys.stderr)
+        return 2
+    policies = args.policies.split(",")
+    for name in policies:
+        if name not in POLICY_NAMES:
+            print(f"unknown policy {name!r}; choose from {POLICY_NAMES}",
+                  file=sys.stderr)
+            return 2
+    trace = _trace_from_args(args)
+    resilience = ResilienceConfig(serve_stale=not args.no_stale)
+    registry = obs.Registry() if args.obs_out else None
+    events = obs.EventTrace() if args.obs_out else None
+    report = run_scenario(
+        args.scenario, trace, policies=policies, node_count=args.nodes,
+        capacity_bytes=parse_size(args.cache_size) // max(args.nodes, 1),
+        slab_size=parse_size(args.slab_size), hit_time=args.hit_time,
+        window_gets=args.window, seed=args.fault_seed,
+        resilience=resilience, obs_registry=registry, obs_events=events)
+    print(report.format())
+    if args.obs_out:
+        meta = {"scenario": args.scenario, "fault_seed": args.fault_seed,
+                "policies": policies, "nodes": args.nodes}
+        with open(args.obs_out, "w") as fh:
+            fh.write(obs.to_json(registry, events=events, meta=meta))
+        print(f"wrote obs snapshot to {args.obs_out}", file=sys.stderr)
+    return 0
+
+
 def cmd_serve(args) -> int:
     from repro.cache import SlabCache, SizeClassConfig
     from repro.policies import make_policy
@@ -314,6 +356,29 @@ def build_parser() -> argparse.ArgumentParser:
     of.add_argument("old")
     of.add_argument("new")
     of.set_defaults(func=cmd_obs)
+
+    x = subs.add_parser(
+        "chaos",
+        help="run a named fault scenario and report resilience deltas")
+    x.add_argument("scenario", nargs="?",
+                   help="scenario name (see --list), e.g. backend-brownout")
+    x.add_argument("--list", action="store_true",
+                   help="list available scenarios and exit")
+    _add_trace_args(x)
+    _add_cache_args(x)
+    x.add_argument("--policies", default="pre-pama,pama",
+                   help="comma-separated policies to compare under faults")
+    x.add_argument("--nodes", type=int, default=2,
+                   help="cluster node count (--cache-size is the total)")
+    x.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the fault plan's RNG (identical seeds "
+                        "replay identical fault trajectories)")
+    x.add_argument("--no-stale", action="store_true",
+                   help="disable serve-stale degradation on backend errors")
+    x.add_argument("--obs-out",
+                   help="also write the faulted runs' obs registry "
+                        "(fault/retry/breaker counters) as JSON")
+    x.set_defaults(func=cmd_chaos)
 
     v = subs.add_parser("serve", help="run the memcached-protocol server")
     v.add_argument("--host", default="127.0.0.1")

@@ -19,7 +19,10 @@ from repro.cache.cache import SlabCache
 from repro.cache.item import Item
 from repro.cache.sizeclasses import SizeClassConfig
 from repro.cache.stats import CacheStats
+from repro.bloom.hashing import hash_key
 from repro.cluster.hashring import ConsistentHashRing
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.injector import FaultInjector
 from repro.policies.base import AllocationPolicy
 
 
@@ -34,12 +37,18 @@ class CacheCluster:
         size_classes: shared class geometry (a fresh equivalent config
             is safe to share: it is immutable).
         replicas: virtual nodes per physical node on the ring.
+        faults: optional :class:`~repro.faults.injector.FaultInjector`.
+            When given, every op routes through the resilient path:
+            per-op timeouts, bounded retries with backoff, a per-node
+            circuit breaker, and ring-successor failover.  When None
+            (the default) ops take the exact pre-fault code path.
     """
 
     def __init__(self, node_names: list[str], capacity_bytes: int,
                  policy_factory: Callable[[], AllocationPolicy],
                  size_classes: SizeClassConfig | None = None,
-                 replicas: int = 64) -> None:
+                 replicas: int = 64,
+                 faults: FaultInjector | None = None) -> None:
         if not node_names:
             raise ValueError("cluster needs at least one node")
         if len(set(node_names)) != len(node_names):
@@ -49,15 +58,35 @@ class CacheCluster:
         self.size_classes = size_classes or SizeClassConfig()
         self.ring = ConsistentHashRing(replicas=replicas)
         self.nodes: dict[str, SlabCache] = {}
+        self.faults = faults
+        self.breakers: dict[str, CircuitBreaker] = {}
+        self._down_seen: set[str] = set()
         for name in node_names:
             self._spawn(name)
 
     # -- topology ---------------------------------------------------------
+    def _fresh_cache(self) -> SlabCache:
+        return SlabCache(self.capacity_bytes, self.policy_factory(),
+                         self.size_classes)
+
     def _spawn(self, name: str) -> None:
         self.ring.add_node(name)
-        self.nodes[name] = SlabCache(self.capacity_bytes,
-                                     self.policy_factory(),
-                                     self.size_classes)
+        self.nodes[name] = self._fresh_cache()
+        if self.faults is not None:
+            self.breakers[name] = self._fresh_breaker(name)
+
+    def _fresh_breaker(self, name: str) -> CircuitBreaker:
+        cfg = self.faults.resilience
+        inj = self.faults
+
+        def on_transition(old: str, new: str, tick: int,
+                          _name: str = name) -> None:
+            inj.count(f"breaker_{new.replace('-', '_')}")
+            inj.event("breaker_transition", node=_name, old=old, new=new)
+
+        return CircuitBreaker(failure_threshold=cfg.breaker_threshold,
+                              reset_ticks=cfg.breaker_reset_ticks,
+                              on_transition=on_transition)
 
     def add_node(self, name: str) -> None:
         """Scale out: new empty node; ~1/n of the key space remaps to it."""
@@ -67,13 +96,24 @@ class CacheCluster:
 
     def remove_node(self, name: str) -> None:
         """Node failure/decommission: its cached items are lost and its
-        key range remaps onto the survivors (a cold start for them)."""
+        key range remaps onto the survivors (a cold start for them).
+
+        Removing the last node is refused: it would leave an empty,
+        unroutable ring.  Chaos node crashes honour the same invariant
+        by never touching the ring — a crashed node stays a member and
+        its ops fail over or fail, so the topology always stays
+        routable (see docs/resilience.md).
+        """
         if name not in self.nodes:
             raise ValueError(f"node {name!r} does not exist")
         if len(self.nodes) == 1:
-            raise ValueError("cannot remove the last node")
+            raise ValueError(
+                "cannot remove the last node: the ring would be empty "
+                "and every key unroutable")
         self.ring.remove_node(name)
         del self.nodes[name]
+        self.breakers.pop(name, None)
+        self._down_seen.discard(name)
 
     def node_names(self) -> list[str]:
         return sorted(self.nodes)
@@ -84,15 +124,102 @@ class CacheCluster:
     # -- cache surface (simulator-compatible) --------------------------------
     def get(self, key: object,
             miss_info: tuple[int, int, float] | None = None) -> Item | None:
-        return self.node_for(key).get(key, miss_info)
+        if self.faults is None:
+            return self.node_for(key).get(key, miss_info)
+        return self._routed(key,
+                            lambda node: node.get(key, miss_info), None)
 
     def set(self, key: object, key_size: int, value_size: int,
             penalty: float, value: object = None) -> bool:
-        return self.node_for(key).set(key, key_size, value_size, penalty,
-                                      value)
+        if self.faults is None:
+            return self.node_for(key).set(key, key_size, value_size, penalty,
+                                          value)
+        return self._routed(
+            key, lambda node: node.set(key, key_size, value_size, penalty,
+                                       value), False)
 
     def delete(self, key: object) -> bool:
-        return self.node_for(key).delete(key)
+        if self.faults is None:
+            return self.node_for(key).delete(key)
+        return self._routed(key, lambda node: node.delete(key), False)
+
+    # -- resilient routing ----------------------------------------------------
+    def _sync_restart(self, name: str, tick: int) -> None:
+        """Track down→up transitions; a rejoining node restarts cold
+        (fresh cache *and* fresh policy, like a process restart)."""
+        inj = self.faults
+        if inj.plan.node_down(name, tick):
+            if name not in self._down_seen:
+                self._down_seen.add(name)
+                inj.event("node_crash", node=name)
+        elif name in self._down_seen:
+            self._down_seen.discard(name)
+            self.nodes[name] = self._fresh_cache()
+            inj.count("node_rejoin")
+            inj.event("node_rejoin", node=name)
+
+    def _routed(self, key: object, op, default):
+        """One op through the resilient path.
+
+        Walks the ring-successor preference list; per candidate node:
+        breaker gate, crash check (costs one ``op_timeout`` to
+        discover), then up to ``1 + max_retries`` attempts riding out
+        transient faults (dropped connections, slow-node timeouts) with
+        exponential backoff and deterministic jitter.  All simulated
+        latency lands on the injector's latency channel; when every
+        candidate fails the op degrades to ``default`` (a miss / failed
+        set) rather than raising.
+        """
+        inj = self.faults
+        cfg = inj.resilience
+        plan = inj.plan
+        tick = max(inj.tick, 0)
+        latency = 0.0
+        candidates = self.ring.successors(key)
+        if not cfg.failover:
+            candidates = candidates[:1]
+        for rank, name in enumerate(candidates):
+            if rank:
+                inj.count("failovers")
+            breaker = self.breakers[name]
+            if not breaker.allow(tick):
+                inj.count("breaker_rejected")
+                continue
+            self._sync_restart(name, tick)
+            if plan.node_down(name, tick):
+                latency += cfg.op_timeout
+                inj.count("node_down")
+                breaker.record_failure(tick)
+                continue
+            # hash_key, not hash(): str hashing is salted per process
+            # and would break cross-run fault determinism.
+            name_hash = hash_key(name)
+            for attempt in range(1 + cfg.max_retries):
+                if attempt:
+                    inj.count("retries")
+                    latency += cfg.backoff(
+                        attempt, plan.jitter(tick, name_hash, attempt))
+                if plan.conn_dropped(name, tick, attempt):
+                    inj.count("conn_drop")
+                    breaker.record_failure(tick)
+                    continue
+                extra = plan.slow_extra(name, tick)
+                if cfg.op_timeout and extra >= cfg.op_timeout:
+                    latency += cfg.op_timeout
+                    inj.count("op_timeout")
+                    breaker.record_failure(tick)
+                    continue
+                if extra:
+                    latency += extra
+                    inj.count("slow_op")
+                result = op(self.nodes[name])
+                breaker.record_success(tick)
+                inj.add_latency(latency)
+                return result
+        inj.add_latency(latency)
+        inj.count("op_failed")
+        inj.event("op_failed", key=key)
+        return default
 
     @property
     def stats(self) -> CacheStats:
@@ -144,6 +271,9 @@ class CacheCluster:
 
     def check_invariants(self) -> None:
         assert set(self.ring.nodes) == set(self.nodes)
+        assert len(self.nodes) >= 1, "unroutable: empty cluster"
+        if self.faults is not None:
+            assert set(self.breakers) == set(self.nodes)
         for node in self.nodes.values():
             node.check_invariants()
 

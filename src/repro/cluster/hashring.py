@@ -60,6 +60,31 @@ class ConsistentHashRing:
             idx = 0
         return self._ring[idx][1]
 
+    def successors(self, key: object) -> list[str]:
+        """Every node in ring order starting at ``key``'s owner.
+
+        The failover preference list: ``successors(key)[0]`` is
+        ``node_for(key)``, and when a node is unreachable its keys
+        fall through to the next distinct node clockwise — the same
+        node that would own them if the dead one were removed, so
+        failover and permanent removal agree.
+        """
+        if not self._ring:
+            raise LookupError("hash ring is empty")
+        point = hash_key(key, seed=0x52494E47)
+        idx = bisect_right(self._ring, (point, "￿"))
+        ring, n = self._ring, len(self._ring)
+        out: list[str] = []
+        seen: set[str] = set()
+        for i in range(n):
+            node = ring[(idx + i) % n][1]
+            if node not in seen:
+                seen.add(node)
+                out.append(node)
+                if len(out) == len(self._nodes):
+                    break
+        return out
+
     def distribution(self, keys) -> dict[str, int]:
         """Count how many of ``keys`` each node owns (balance check)."""
         out: dict[str, int] = {n: 0 for n in self._nodes}

@@ -1,0 +1,34 @@
+"""repro.faults — deterministic fault injection and client resilience.
+
+The chaos layer for the cluster path: a seeded :class:`FaultPlan`
+schedules node crashes/rejoins, slow nodes, backend latency spikes and
+error bursts, and connection flakiness over access ticks; a
+:class:`FaultInjector` threads that plan through
+:class:`~repro.cluster.cluster.CacheCluster` (timeouts, retries with
+deterministic-jitter backoff, per-node circuit breakers, ring-successor
+failover), the simulator (backend fault costs, serve-stale degradation)
+and :class:`~repro.backend.database.SimulatedBackend`.
+
+Identical seeds replay identical fault trajectories; with no injector
+attached every touched component runs its pre-fault code path
+unchanged.  See docs/resilience.md.
+"""
+
+from __future__ import annotations
+
+from repro.faults.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (BackendErrorBurst, BackendSpike, FaultPlan,
+                               FlakyConnection, NodeCrash, SlowNode, rand01)
+from repro.faults.resilience import ResilienceConfig
+from repro.faults.scenarios import (SCENARIOS, ChaosReport, PolicyOutcome,
+                                    make_plan, run_scenario, scenario_names)
+
+__all__ = [
+    "FaultPlan", "NodeCrash", "SlowNode", "BackendSpike",
+    "BackendErrorBurst", "FlakyConnection", "rand01",
+    "CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN",
+    "ResilienceConfig", "FaultInjector",
+    "SCENARIOS", "scenario_names", "make_plan", "run_scenario",
+    "ChaosReport", "PolicyOutcome",
+]

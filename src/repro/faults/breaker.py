@@ -1,0 +1,86 @@
+"""Per-node circuit breaker: stop hammering a node that keeps failing.
+
+Classic three-state machine over access ticks (the simulator's clock):
+
+* **closed** — requests flow; consecutive failures are counted.
+* **open** — entered after ``failure_threshold`` consecutive failures;
+  every request is rejected up front (the caller fails over) until
+  ``reset_ticks`` ticks have passed.
+* **half-open** — entered on the first ``allow`` after the cool-down; a
+  single probe request is let through.  Success closes the breaker,
+  failure re-opens it and restarts the cool-down.
+
+The breaker is driven entirely by the caller's clock (``tick``
+arguments), so chaos replays are deterministic: the same fault
+trajectory produces the same transition sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+#: transition callback: (old_state, new_state, tick)
+TransitionHook = Callable[[str, str, int], None]
+
+
+class CircuitBreaker:
+    """One node's breaker; see the module docstring for the states."""
+
+    __slots__ = ("failure_threshold", "reset_ticks", "state", "failures",
+                 "opened_at", "transitions", "on_transition")
+
+    def __init__(self, failure_threshold: int = 5, reset_ticks: int = 200,
+                 on_transition: TransitionHook | None = None) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_ticks < 1:
+            raise ValueError("reset_ticks must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_ticks = reset_ticks
+        self.state = CLOSED
+        self.failures = 0          # consecutive failures while closed
+        self.opened_at = -1
+        self.transitions = 0
+        self.on_transition = on_transition
+
+    def _goto(self, state: str, tick: int) -> None:
+        if state == self.state:
+            return
+        old, self.state = self.state, state
+        self.transitions += 1
+        if self.on_transition is not None:
+            self.on_transition(old, state, tick)
+
+    # -- caller API -------------------------------------------------------
+    def allow(self, tick: int) -> bool:
+        """May a request be sent to this node at ``tick``?"""
+        if self.state == OPEN:
+            if tick - self.opened_at >= self.reset_ticks:
+                self._goto(HALF_OPEN, tick)
+                return True
+            return False
+        return True
+
+    def record_success(self, tick: int) -> None:
+        self.failures = 0
+        if self.state != CLOSED:
+            self._goto(CLOSED, tick)
+
+    def record_failure(self, tick: int) -> None:
+        if self.state == HALF_OPEN:
+            # the probe failed: straight back to open, fresh cool-down
+            self.opened_at = tick
+            self._goto(OPEN, tick)
+            return
+        self.failures += 1
+        if self.state == CLOSED and self.failures >= self.failure_threshold:
+            self.opened_at = tick
+            self._goto(OPEN, tick)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CircuitBreaker({self.state}, failures={self.failures}, "
+                f"transitions={self.transitions})")

@@ -1,0 +1,245 @@
+"""Deterministic fault plans: *what* goes wrong, and *when*.
+
+The paper's premise is that miss penalties are heterogeneous and
+volatile — backend costs swing ~2x diurnally and spike under load
+(§I) — so evaluating a penalty-aware allocator honestly means making
+the backend and the cluster misbehave on purpose.  A
+:class:`FaultPlan` is a declarative schedule of such misbehaviour over
+*access ticks* (the simulator's notion of time: one tick per trace
+request):
+
+* :class:`NodeCrash` — a node goes dark at a tick and optionally
+  rejoins later with a cold cache (process restart);
+* :class:`SlowNode` — every op routed to a node pays extra latency
+  inside a tick window (degraded disk / noisy neighbour);
+* :class:`BackendSpike` — miss penalties are multiplied inside a
+  window (backend brownout / load spike);
+* :class:`BackendErrorBurst` — backend fetches fail with a given
+  probability inside a window (backend outage);
+* :class:`FlakyConnection` — individual cache ops are dropped with a
+  given probability (lossy network), per node or cluster-wide.
+
+**Determinism contract.**  Every stochastic decision is a pure
+function of ``(plan.seed, tick, channel, parts...)`` via splitmix64
+chaining — no hidden RNG state, no call-order dependence.  Replaying
+the same trace against the same plan therefore produces the *same*
+fault trajectory, byte for byte, which is what makes chaos runs
+regression-testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bloom.hashing import _MASK64, hash_key, splitmix64
+
+# Independent stochastic channels (arbitrary distinct 64-bit salts).
+CHAN_BACKEND_ERROR = 0xB0_0B5
+CHAN_CONN_DROP = 0xC0_FFEE
+CHAN_JITTER = 0x1177E2
+
+
+def rand01(seed: int, tick: int, channel: int, *parts: int) -> float:
+    """Uniform [0, 1) draw, a pure function of its arguments."""
+    x = splitmix64((seed ^ (channel * 0x9E3779B97F4A7C15)) & _MASK64)
+    x = splitmix64((x ^ tick) & _MASK64)
+    for part in parts:
+        x = splitmix64((x ^ part) & _MASK64)
+    return x / 2.0 ** 64
+
+
+def _check_window(start: int, end: int, what: str) -> None:
+    if start < 0 or end <= start:
+        raise ValueError(f"{what}: need 0 <= start < end, "
+                         f"got [{start}, {end})")
+
+
+def _check_rate(rate: float, what: str) -> None:
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"{what}: rate must be in [0, 1], got {rate}")
+
+
+@dataclass(frozen=True)
+class NodeCrash:
+    """``node`` is down for ticks ``[at, rejoin)``; ``rejoin=None``
+    keeps it down forever.  A rejoined node restarts cold."""
+
+    node: str
+    at: int
+    rejoin: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"crash tick must be >= 0, got {self.at}")
+        if self.rejoin is not None and self.rejoin <= self.at:
+            raise ValueError("rejoin must come after the crash")
+
+    def down(self, tick: int) -> bool:
+        return self.at <= tick and (self.rejoin is None
+                                    or tick < self.rejoin)
+
+
+@dataclass(frozen=True)
+class SlowNode:
+    """Ops routed to ``node`` pay ``extra_latency`` seconds during
+    ``[start, end)``.  Latency at or above the resilience layer's
+    per-op timeout surfaces as a timeout, not slow service."""
+
+    node: str
+    start: int
+    end: int
+    extra_latency: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "SlowNode")
+        if self.extra_latency <= 0:
+            raise ValueError("extra_latency must be positive")
+
+    def active(self, tick: int) -> bool:
+        return self.start <= tick < self.end
+
+
+@dataclass(frozen=True)
+class BackendSpike:
+    """Miss penalties are multiplied by ``multiplier`` during
+    ``[start, end)``; overlapping spikes compound."""
+
+    start: int
+    end: int
+    multiplier: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "BackendSpike")
+        if self.multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+
+    def active(self, tick: int) -> bool:
+        return self.start <= tick < self.end
+
+
+@dataclass(frozen=True)
+class BackendErrorBurst:
+    """Backend fetches fail with probability ``error_rate`` during
+    ``[start, end)``."""
+
+    start: int
+    end: int
+    error_rate: float
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "BackendErrorBurst")
+        _check_rate(self.error_rate, "BackendErrorBurst")
+
+    def active(self, tick: int) -> bool:
+        return self.start <= tick < self.end
+
+
+@dataclass(frozen=True)
+class FlakyConnection:
+    """Cache ops to ``node`` (or any node when ``node is None``) are
+    dropped with probability ``drop_rate`` during ``[start, end)``."""
+
+    start: int
+    end: int
+    drop_rate: float
+    node: str | None = None
+
+    def __post_init__(self) -> None:
+        _check_window(self.start, self.end, "FlakyConnection")
+        _check_rate(self.drop_rate, "FlakyConnection")
+
+    def active(self, tick: int) -> bool:
+        return self.start <= tick < self.end
+
+
+Fault = (NodeCrash | SlowNode | BackendSpike | BackendErrorBurst
+         | FlakyConnection)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, immutable schedule of faults over access ticks.
+
+    Query methods are pure: the same ``(plan, tick)`` always answers
+    the same way, independent of query order — the determinism
+    contract chaos replay relies on (see docs/resilience.md).
+    """
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+    _by_node_crash: dict = field(init=False, repr=False, compare=False,
+                                 hash=False)
+    _by_node_slow: dict = field(init=False, repr=False, compare=False,
+                                hash=False)
+
+    def __init__(self, faults=(), seed: int = 0) -> None:
+        object.__setattr__(self, "faults", tuple(faults))
+        object.__setattr__(self, "seed", int(seed))
+        crashes: dict[str, list[NodeCrash]] = {}
+        slows: dict[str, list[SlowNode]] = {}
+        for f in self.faults:
+            if isinstance(f, NodeCrash):
+                crashes.setdefault(f.node, []).append(f)
+            elif isinstance(f, SlowNode):
+                slows.setdefault(f.node, []).append(f)
+            elif not isinstance(f, (BackendSpike, BackendErrorBurst,
+                                    FlakyConnection)):
+                raise TypeError(f"not a fault: {f!r}")
+        object.__setattr__(self, "_by_node_crash", crashes)
+        object.__setattr__(self, "_by_node_slow", slows)
+
+    # -- node faults ------------------------------------------------------
+    def node_down(self, node: str, tick: int) -> bool:
+        return any(c.down(tick) for c in self._by_node_crash.get(node, ()))
+
+    def slow_extra(self, node: str, tick: int) -> float:
+        return sum(s.extra_latency for s in self._by_node_slow.get(node, ())
+                   if s.active(tick))
+
+    def conn_dropped(self, node: str, tick: int, attempt: int = 0) -> bool:
+        for f in self.faults:
+            if (isinstance(f, FlakyConnection) and f.active(tick)
+                    and f.node in (None, node)):
+                u = rand01(self.seed, tick, CHAN_CONN_DROP,
+                           hash_key(node), attempt)
+                if u < f.drop_rate:
+                    return True
+        return False
+
+    # -- backend faults ---------------------------------------------------
+    def backend_multiplier(self, tick: int) -> float:
+        mult = 1.0
+        for f in self.faults:
+            if isinstance(f, BackendSpike) and f.active(tick):
+                mult *= f.multiplier
+        return mult
+
+    def backend_error(self, tick: int) -> bool:
+        for f in self.faults:
+            if isinstance(f, BackendErrorBurst) and f.active(tick):
+                if rand01(self.seed, tick, CHAN_BACKEND_ERROR) < f.error_rate:
+                    return True
+        return False
+
+    def jitter(self, tick: int, *parts: int) -> float:
+        """Deterministic [0, 1) draw for retry-backoff jitter."""
+        return rand01(self.seed, tick, CHAN_JITTER, *parts)
+
+    # -- introspection ----------------------------------------------------
+    @property
+    def empty(self) -> bool:
+        return not self.faults
+
+    def nodes_touched(self) -> frozenset[str]:
+        """Every node a scheduled fault names."""
+        out = set(self._by_node_crash) | set(self._by_node_slow)
+        out |= {f.node for f in self.faults
+                if isinstance(f, FlakyConnection) and f.node is not None}
+        return frozenset(out)
+
+    def describe(self) -> str:
+        if not self.faults:
+            return f"FaultPlan(seed={self.seed}, no faults)"
+        lines = [f"FaultPlan(seed={self.seed}, {len(self.faults)} faults)"]
+        lines += [f"  {f!r}" for f in self.faults]
+        return "\n".join(lines)

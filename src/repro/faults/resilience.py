@@ -1,0 +1,70 @@
+"""Client-side resilience knobs for fault-aware routing.
+
+One frozen config shared by the cluster's routed ops and the
+simulator's backend path.  All times are *simulated* seconds — they
+feed the service-time metric, they never sleep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """How the client side responds when faults bite.
+
+    Attributes:
+        op_timeout: per-attempt budget; a down node costs this much to
+            discover, and a slow-node delay at or above it is a timeout.
+        max_retries: extra attempts per node after the first (transient
+            faults only: dropped connections, timeouts).
+        backoff_base: delay before the first retry.
+        backoff_factor: multiplier per further retry (exponential).
+        backoff_jitter: max extra delay as a fraction of the backoff,
+            drawn deterministically from the plan's seeded RNG.
+        failover: on a hard failure (node down, breaker open, retries
+            exhausted) walk the hash ring to the next distinct node.
+        breaker_threshold: consecutive failures that open a node's
+            circuit breaker.
+        breaker_reset_ticks: ticks an open breaker waits before letting
+            a half-open probe through.
+        serve_stale: degrade gracefully when the *backend* errors on a
+            miss — serve a stale/fallback answer at ``stale_serve_time``
+            instead of surfacing the failure.
+        stale_serve_time: service time of a degraded (stale) answer.
+        error_penalty: service time charged when a request ultimately
+            fails (backend error with ``serve_stale`` off).
+    """
+
+    op_timeout: float = 0.05
+    max_retries: int = 2
+    backoff_base: float = 0.002
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5
+    failover: bool = True
+    breaker_threshold: int = 5
+    breaker_reset_ticks: int = 250
+    serve_stale: bool = True
+    stale_serve_time: float = 1e-3
+    error_penalty: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.op_timeout < 0 or self.backoff_base < 0:
+            raise ValueError("timeouts/backoffs must be >= 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
+        if self.breaker_threshold < 1 or self.breaker_reset_ticks < 1:
+            raise ValueError("breaker knobs must be >= 1")
+        if self.stale_serve_time < 0 or self.error_penalty < 0:
+            raise ValueError("degradation costs must be >= 0")
+
+    def backoff(self, attempt: int, jitter_u: float) -> float:
+        """Simulated delay before retry ``attempt`` (1-based), with the
+        caller supplying a deterministic uniform [0, 1) draw."""
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        return base * (1.0 + self.backoff_jitter * jitter_u)

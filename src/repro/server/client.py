@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import socket
+import time
 
+from repro.bloom.hashing import splitmix64
 from repro.server import protocol as p
 
 
@@ -12,12 +14,74 @@ class CacheClient:
 
     The ``penalty`` argument of :meth:`set` rides in the protocol's
     flags field as microseconds (see :mod:`repro.server.protocol`).
+
+    Resilience: ``timeout`` bounds every socket op; with ``retries > 0``
+    idempotent operations (get/gets/set-family/delete/touch/stats/
+    version/flush_all) survive connection failures — the client
+    reconnects and retries with exponential backoff and deterministic
+    jitter (seeded by ``retry_seed``, so test runs replay identically).
+    ``cas``/``incr``/``decr`` are never retried: a retry after a lost
+    response could apply a non-idempotent op twice.  ``retries=0`` (the
+    default) is the exact pre-resilience behaviour.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 11211,
-                 timeout: float = 5.0) -> None:
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+                 timeout: float = 5.0, retries: int = 0,
+                 backoff_base: float = 0.05, backoff_factor: float = 2.0,
+                 backoff_jitter: float = 0.5, retry_seed: int = 0,
+                 _sleep=time.sleep) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self._addr = (host, port)
+        self._timeout = timeout
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_factor = backoff_factor
+        self.backoff_jitter = backoff_jitter
+        self.retry_seed = retry_seed
+        self.reconnects = 0
+        self._retry_seq = 0
+        self._sleep = _sleep
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(self._addr,
+                                              timeout=self._timeout)
         self._rfile = self._sock.makefile("rb")
+
+    def _reconnect(self) -> None:
+        try:
+            self._rfile.close()
+            self._sock.close()
+        except OSError:
+            pass
+        self.reconnects += 1
+        self._connect()
+
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff with a deterministic jitter draw."""
+        self._retry_seq += 1
+        u = splitmix64(self.retry_seed ^ (self._retry_seq * 0x9E37)) / 2.0**64
+        base = self.backoff_base * self.backoff_factor ** (attempt - 1)
+        return base * (1.0 + self.backoff_jitter * u)
+
+    def _retry(self, fn, *args):
+        """Run ``fn`` with bounded retries over connection failures."""
+        attempt = 0
+        while True:
+            try:
+                return fn(*args)
+            except (ConnectionError, socket.timeout, OSError):
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                self._sleep(self._backoff_delay(attempt))
+                try:
+                    self._reconnect()
+                except OSError:
+                    # server still gone; the next loop iteration's send
+                    # fails fast and consumes the next attempt
+                    pass
 
     def close(self) -> None:
         try:
@@ -36,6 +100,11 @@ class CacheClient:
     # -- operations ---------------------------------------------------------
     def _storage(self, verb: str, key: str, data: bytes, penalty: float,
                  exptime: int) -> bool:
+        return self._retry(self._storage_once, verb, key, data, penalty,
+                           exptime)
+
+    def _storage_once(self, verb: str, key: str, data: bytes, penalty: float,
+                      exptime: int) -> bool:
         flags = max(0, int(round(penalty * 1e6)))
         line = f"{verb} {key} {flags} {exptime} {len(data)}\r\n".encode()
         self._sock.sendall(line + data + b"\r\n")
@@ -106,6 +175,9 @@ class CacheClient:
         return int(resp)
 
     def touch(self, key: str, exptime: int) -> bool:
+        return self._retry(self._touch_once, key, exptime)
+
+    def _touch_once(self, key: str, exptime: int) -> bool:
         """Update a key's expiry without touching its value."""
         self._sock.sendall(f"touch {key} {exptime}\r\n".encode())
         resp = self._readline()
@@ -116,6 +188,9 @@ class CacheClient:
         raise RuntimeError(f"unexpected touch response: {resp!r}")
 
     def flush_all(self) -> None:
+        return self._retry(self._flush_all_once)
+
+    def _flush_all_once(self) -> None:
         """Drop every item on the server."""
         self._sock.sendall(b"flush_all\r\n")
         resp = self._readline()
@@ -123,6 +198,9 @@ class CacheClient:
             raise RuntimeError(f"unexpected flush_all response: {resp!r}")
 
     def get(self, key: str) -> bytes | None:
+        return self._retry(self._get_once, key)
+
+    def _get_once(self, key: str) -> bytes | None:
         self._sock.sendall(f"get {key}\r\n".encode())
         value = None
         while True:
@@ -137,6 +215,9 @@ class CacheClient:
                 raise RuntimeError(f"unexpected get response: {line!r}")
 
     def gets(self, key: str) -> tuple[bytes, int] | None:
+        return self._retry(self._gets_once, key)
+
+    def _gets_once(self, key: str) -> tuple[bytes, int] | None:
         """Retrieve ``(value, cas_unique)`` for use with :meth:`cas`."""
         self._sock.sendall(f"gets {key}\r\n".encode())
         result = None
@@ -153,6 +234,9 @@ class CacheClient:
                 raise RuntimeError(f"unexpected gets response: {line!r}")
 
     def delete(self, key: str) -> bool:
+        return self._retry(self._delete_once, key)
+
+    def _delete_once(self, key: str) -> bool:
         self._sock.sendall(f"delete {key}\r\n".encode())
         resp = self._readline()
         if resp == b"DELETED":
@@ -162,6 +246,9 @@ class CacheClient:
         raise RuntimeError(f"unexpected delete response: {resp!r}")
 
     def stats(self, arg: str | None = None) -> dict[str, str]:
+        return self._retry(self._stats_once, arg)
+
+    def _stats_once(self, arg: str | None) -> dict[str, str]:
         """``stats`` (counters) or ``stats detail`` (full registry)."""
         line = b"stats\r\n" if arg is None else f"stats {arg}\r\n".encode()
         self._sock.sendall(line)
@@ -177,6 +264,9 @@ class CacheClient:
                 raise RuntimeError(f"unexpected stats response: {line!r}")
 
     def version(self) -> str:
+        return self._retry(self._version_once)
+
+    def _version_once(self) -> str:
         self._sock.sendall(b"version\r\n")
         line = self._readline()
         if not line.startswith(b"VERSION "):

@@ -73,7 +73,7 @@ class Simulator:
     def __init__(self, cache: SlabCache,
                  service_model: ServiceTimeModel | None = None,
                  window_gets: int = 100_000, fill_on_miss: bool = True,
-                 obs=None) -> None:
+                 obs=None, faults=None) -> None:
         self.cache = cache
         self.service_model = service_model or ServiceTimeModel()
         self.fill_on_miss = fill_on_miss
@@ -81,6 +81,11 @@ class Simulator:
         #: optional obs registry for per-request histograms; falls back
         #: to the module-level registry when observability is enabled.
         self.obs = obs
+        #: optional :class:`~repro.faults.injector.FaultInjector` —
+        #: selects the fault-aware replay loop (backend spikes/errors,
+        #: routed-op latency, graceful degradation).  Share the same
+        #: injector with the cache when it is a fault-aware cluster.
+        self.faults = faults
         # Rebuilt at the top of every run(); kept as an attribute so a
         # run's collector stays inspectable after it returns.
         self.metrics = MetricsCollector(window_gets, self._snapshot)
@@ -126,10 +131,15 @@ class Simulator:
                 "per-request penalty of GET misses", lo=1e-6, growth=1.25,
                 policy=policy)
 
-        # Two loop bodies, selected once: the obs-disabled replay runs
-        # the seed hot loop with zero per-request instrumentation cost.
+        # Three loop bodies, selected once: the fault-aware replay when
+        # an injector is attached, otherwise the obs-disabled replay
+        # runs the seed hot loop with zero per-request instrumentation
+        # cost.
         started = time.perf_counter()
-        if hist is None:
+        if self.faults is not None:
+            self._replay_faulty(trace, metrics, service,
+                                hist, hist_hit, hist_miss)
+        elif hist is None:
             for op, key, key_size, value_size, penalty in trace.iter_rows():
                 if op == 0:  # GET
                     item = cache_get(key, (key_size, value_size, penalty))
@@ -166,6 +176,7 @@ class Simulator:
         elapsed = time.perf_counter() - started
         metrics.flush()
 
+
         return SimulationResult(
             policy=cache.policy.name,
             windows=list(metrics.windows),
@@ -183,12 +194,81 @@ class Simulator:
                             if hist_miss is not None else {}),
         )
 
+    def _replay_faulty(self, trace: Trace, metrics: MetricsCollector,
+                       service: ServiceTimeModel,
+                       hist, hist_hit, hist_miss) -> None:
+        """The fault-aware replay loop.
+
+        Per request: advance the injector's tick, run the op (a
+        fault-aware cluster accumulates routed-op latency on the
+        injector), then fold that latency plus any backend fault cost
+        into the request's service time.  A GET miss consults the plan's
+        backend faults before filling: an error burst either degrades
+        gracefully (serve-stale: cheap fallback answer, no fill) or
+        charges the error penalty; a latency spike multiplies the miss
+        penalty — the condition PAMA's penalty-weighted allocation is
+        built for.
+        """
+        inj = self.faults
+        plan = inj.plan
+        cfg = inj.resilience
+        cache = self.cache
+        fill = self.fill_on_miss
+        cache_get = cache.get
+        cache_set = cache.set
+        record_hit = metrics.record_hit
+        record_miss = metrics.record_miss
+        for op, key, key_size, value_size, penalty in trace.iter_rows():
+            tick = inj.advance()
+            if op == 0:  # GET
+                item = cache_get(key, (key_size, value_size, penalty))
+                extra = inj.consume_latency()
+                if item is not None:
+                    cost = service.hit(item.total_size) + extra
+                    record_hit(cost)
+                    if hist is not None:
+                        hist.record(cost)
+                        hist_hit.record(cost)
+                else:
+                    do_fill = fill
+                    if plan.backend_error(tick):
+                        # The backend refused the recompute: degrade.
+                        inj.count("backend_error")
+                        inj.event("backend_error", key=key)
+                        do_fill = False
+                        if cfg.serve_stale:
+                            cost = extra + cfg.stale_serve_time
+                            inj.count("stale_served")
+                        else:
+                            cost = extra + cfg.error_penalty
+                            inj.count("backend_give_up")
+                        inj.note_degraded(cost)
+                    else:
+                        mult = plan.backend_multiplier(tick)
+                        if mult != 1.0:
+                            inj.count("backend_spiked")
+                        cost = extra + service.miss(penalty) * mult
+                    record_miss(cost)
+                    if hist is not None:
+                        hist.record(cost)
+                        hist_miss.record(cost)
+                    if do_fill:
+                        cache_set(key, key_size, value_size, penalty)
+                        inj.consume_latency()  # fill is off the GET path
+            elif op == 1:  # SET
+                cache_set(key, key_size, value_size, penalty)
+                inj.consume_latency()
+            else:  # DELETE
+                cache.delete(key)
+                inj.consume_latency()
+
 
 def simulate(trace: Trace, cache: SlabCache, *,
              hit_time: float = 1e-4, window_gets: int = 100_000,
-             fill_on_miss: bool = True, obs=None) -> SimulationResult:
+             fill_on_miss: bool = True, obs=None,
+             faults=None) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     sim = Simulator(cache, ServiceTimeModel(hit_time=hit_time),
                     window_gets=window_gets, fill_on_miss=fill_on_miss,
-                    obs=obs)
+                    obs=obs, faults=faults)
     return sim.run(trace)

@@ -1,0 +1,48 @@
+"""SimulatedBackend under an injected fault plan."""
+
+import pytest
+
+from repro.backend import BackendError, SimulatedBackend
+from repro.faults import (BackendErrorBurst, BackendSpike, FaultInjector,
+                          FaultPlan)
+
+
+def test_no_faults_is_the_plain_path():
+    plain = SimulatedBackend()
+    armed = SimulatedBackend(faults=FaultInjector(FaultPlan()))
+    for key in range(50):
+        assert armed.fetch(key, 100) == plain.fetch(key, 100)
+    assert armed.errors == 0
+
+
+def test_spike_multiplies_cost_inside_the_window():
+    inj = FaultInjector(FaultPlan([BackendSpike(10, 20, 3.0)]))
+    backend = SimulatedBackend(faults=inj)
+    reference = SimulatedBackend()
+    base = reference.fetch(7, 100)
+    assert backend.fetch(7, 100, tick=5) == pytest.approx(base)
+    assert backend.fetch(7, 100, tick=15) == pytest.approx(3.0 * base)
+    assert backend.fetch(7, 100, tick=20) == pytest.approx(base)
+
+
+def test_error_burst_raises_and_counts():
+    inj = FaultInjector(FaultPlan([BackendErrorBurst(0, 100, 1.0)]))
+    backend = SimulatedBackend(faults=inj)
+    with pytest.raises(BackendError, match="tick 5"):
+        backend.fetch(1, 100, tick=5)
+    assert backend.errors == 1
+    assert inj.counters["backend_error"] == 1
+    assert backend.fetches == 0  # a failed fetch is not a fetch
+    # outside the window the fetch succeeds
+    assert backend.fetch(1, 100, tick=100) > 0
+
+
+def test_tick_defaults_to_the_injector_clock():
+    inj = FaultInjector(FaultPlan([BackendErrorBurst(0, 10, 1.0)]))
+    backend = SimulatedBackend(faults=inj)
+    inj.advance()  # tick 0: inside the burst
+    with pytest.raises(BackendError):
+        backend.fetch(1, 100)
+    while inj.advance() < 10:
+        pass
+    assert backend.fetch(1, 100) > 0  # tick 10: burst over

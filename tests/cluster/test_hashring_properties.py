@@ -1,0 +1,102 @@
+"""Property tests for ConsistentHashRing (hypothesis).
+
+The three guarantees the cluster (and the fault layer's failover)
+lean on: routing is a pure function of the node set, keys stay
+roughly balanced at replicas=64, and topology changes remap only the
+keys they must (~1/n).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ConsistentHashRing
+
+node_names = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1,
+            max_size=12),
+    min_size=2, max_size=8, unique=True)
+
+keys = [f"key:{i}" for i in range(2000)]
+
+
+def build(nodes, replicas=64):
+    ring = ConsistentHashRing(replicas=replicas)
+    for n in nodes:
+        ring.add_node(n)
+    return ring
+
+
+@given(node_names)
+@settings(max_examples=50, deadline=None)
+def test_routing_is_a_pure_function_of_the_node_set(nodes):
+    a = build(nodes)
+    b = build(list(reversed(nodes)))  # insertion order must not matter
+    for key in keys[:500]:
+        assert a.node_for(key) == b.node_for(key)
+
+
+@given(node_names)
+@settings(max_examples=50, deadline=None)
+def test_key_balance_at_replicas_64(nodes):
+    ring = build(nodes)
+    counts = ring.distribution(keys)
+    ideal = len(keys) / len(nodes)
+    # 64 virtual nodes keeps every share within a small constant of
+    # ideal: no node starved, none owning most of the space.
+    assert all(c > 0 for c in counts.values())
+    assert max(counts.values()) <= 3.0 * ideal
+
+
+@given(node_names, st.text(alphabet="xyz", min_size=1, max_size=8))
+@settings(max_examples=50, deadline=None)
+def test_add_node_moves_keys_only_to_the_new_node(nodes, newcomer):
+    newcomer = "new-" + newcomer  # never collides with existing names
+    before = build(nodes)
+    after = build(nodes)
+    after.add_node(newcomer)
+    moved = 0
+    for key in keys:
+        old, new = before.node_for(key), after.node_for(key)
+        if old != new:
+            assert new == newcomer
+            moved += 1
+    # ~1/(n+1) of keys remap, bounded well below a full reshuffle
+    assert moved / len(keys) <= 3.0 / (len(nodes) + 1)
+
+
+@given(node_names)
+@settings(max_examples=50, deadline=None)
+def test_remove_node_moves_only_its_own_keys(nodes):
+    victim = nodes[0]
+    before = build(nodes)
+    after = build(nodes)
+    after.remove_node(victim)
+    for key in keys:
+        old = before.node_for(key)
+        if old == victim:
+            assert after.node_for(key) != victim
+        else:
+            assert after.node_for(key) == old
+
+
+@given(node_names)
+@settings(max_examples=50, deadline=None)
+def test_successors_start_at_the_owner_and_cover_every_node(nodes):
+    ring = build(nodes)
+    for key in keys[:200]:
+        succ = ring.successors(key)
+        assert succ[0] == ring.node_for(key)
+        assert sorted(succ) == sorted(nodes)  # each node exactly once
+
+
+@given(node_names)
+@settings(max_examples=25, deadline=None)
+def test_failover_order_agrees_with_removal(nodes):
+    """successors()[1] is where keys would land if the owner left —
+    the property the chaos failover path relies on."""
+    ring = build(nodes)
+    for key in keys[:100]:
+        succ = ring.successors(key)
+        without_owner = build(nodes)
+        without_owner.remove_node(succ[0])
+        assert without_owner.node_for(key) == succ[1]

@@ -1,0 +1,90 @@
+"""CircuitBreaker state machine, driven by an explicit tick clock."""
+
+import pytest
+
+from repro.faults import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def trip(breaker, tick=0, n=None):
+    for _ in range(n if n is not None else breaker.failure_threshold):
+        breaker.record_failure(tick)
+
+
+class TestValidation:
+    def test_threshold_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+    def test_reset_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_ticks=0)
+
+
+class TestStateMachine:
+    def test_starts_closed_and_allows(self):
+        b = CircuitBreaker()
+        assert b.state == CLOSED
+        assert b.allow(0)
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        b = CircuitBreaker(failure_threshold=3)
+        trip(b, n=2)
+        assert b.state == CLOSED
+        b.record_failure(0)
+        assert b.state == OPEN
+        assert not b.allow(1)
+
+    def test_success_resets_the_failure_streak(self):
+        b = CircuitBreaker(failure_threshold=3)
+        trip(b, n=2)
+        b.record_success(0)
+        trip(b, n=2)
+        assert b.state == CLOSED  # streak broken, never reached 3
+
+    def test_open_rejects_until_reset_ticks(self):
+        b = CircuitBreaker(failure_threshold=1, reset_ticks=10)
+        b.record_failure(100)
+        assert not b.allow(109)
+        assert b.allow(110)  # the half-open probe
+        assert b.state == HALF_OPEN
+
+    def test_half_open_probe_success_closes(self):
+        b = CircuitBreaker(failure_threshold=1, reset_ticks=10)
+        b.record_failure(0)
+        assert b.allow(10)
+        b.record_success(10)
+        assert b.state == CLOSED
+        assert b.allow(11)
+
+    def test_half_open_probe_failure_reopens_with_fresh_cooldown(self):
+        b = CircuitBreaker(failure_threshold=1, reset_ticks=10)
+        b.record_failure(0)
+        assert b.allow(10)
+        b.record_failure(10)
+        assert b.state == OPEN
+        assert not b.allow(19)   # cool-down restarted at tick 10
+        assert b.allow(20)
+
+    def test_reopened_breaker_needs_full_threshold_again(self):
+        b = CircuitBreaker(failure_threshold=2, reset_ticks=5)
+        trip(b, tick=0)
+        assert b.allow(5)
+        b.record_success(5)
+        b.record_failure(6)
+        assert b.state == CLOSED  # one failure < threshold after close
+
+    def test_transition_hook_and_count(self):
+        seen = []
+        b = CircuitBreaker(failure_threshold=1, reset_ticks=5,
+                           on_transition=lambda o, n, t: seen.append((o, n, t)))
+        b.record_failure(3)
+        b.allow(8)
+        b.record_success(8)
+        assert seen == [(CLOSED, OPEN, 3), (OPEN, HALF_OPEN, 8),
+                        (HALF_OPEN, CLOSED, 8)]
+        assert b.transitions == 3
+
+    def test_success_while_closed_is_not_a_transition(self):
+        b = CircuitBreaker()
+        b.record_success(0)
+        assert b.transitions == 0

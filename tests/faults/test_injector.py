@@ -1,0 +1,71 @@
+"""FaultInjector: clock, latency channel, counters, obs mirroring."""
+
+from repro import obs
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import EventTrace, Registry
+
+
+class TestClockAndLatency:
+    def test_tick_starts_before_zero_and_advances(self):
+        inj = FaultInjector()
+        assert inj.tick == -1
+        assert inj.advance() == 0
+        assert inj.advance() == 1
+
+    def test_latency_channel_accumulates_and_drains(self):
+        inj = FaultInjector()
+        inj.add_latency(0.01)
+        inj.add_latency(0.02)
+        assert inj.consume_latency() == 0.03
+        assert inj.consume_latency() == 0.0
+
+    def test_advance_clears_stale_latency(self):
+        inj = FaultInjector()
+        inj.add_latency(1.0)
+        inj.advance()
+        assert inj.consume_latency() == 0.0
+
+    def test_default_plan_is_empty(self):
+        assert FaultInjector().plan.empty
+
+
+class TestAccounting:
+    def test_counters_and_snapshot(self):
+        inj = FaultInjector(FaultPlan())
+        inj.count("retries")
+        inj.count("retries", 2)
+        inj.note_degraded(0.5)
+        snap = inj.snapshot()
+        assert snap["retries"] == 3
+        assert snap["degraded_time"] == 0.5
+
+    def test_events_dropped_without_a_trace(self):
+        inj = FaultInjector()
+        inj.event("node_crash", node="a")  # no sink attached: no-op
+
+    def test_obs_mirroring(self):
+        reg, events = Registry(), EventTrace()
+        inj = FaultInjector(obs=reg, events=events)
+        inj.advance()
+        inj.count("conn_drop")
+        inj.count("conn_drop")
+        inj.note_degraded(0.25)
+        inj.event("breaker_transition", node="a", old="closed", new="open")
+        assert reg.counter("faults_conn_drop_total", "").value == 2
+        assert reg.gauge("faults_degraded_time_seconds", "").value == 0.25
+        kinds = [e.kind for e in events]
+        assert "breaker_transition" in kinds
+
+    def test_global_obs_auto_attach(self):
+        obs.enable()
+        try:
+            inj = FaultInjector()
+            assert inj.obs is obs.get_registry()
+            inj.count("node_down")
+            assert obs.get_registry().counter(
+                "faults_node_down_total", "").value == 1
+        finally:
+            obs.disable()
+
+    def test_no_obs_by_default(self):
+        assert FaultInjector().obs is None

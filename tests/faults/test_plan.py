@@ -1,0 +1,159 @@
+"""FaultPlan: validation, query semantics, determinism contract."""
+
+import pytest
+
+from repro.faults import (BackendErrorBurst, BackendSpike, FaultPlan,
+                          FlakyConnection, NodeCrash, SlowNode, rand01)
+from repro.faults.plan import (CHAN_BACKEND_ERROR, CHAN_CONN_DROP,
+                               CHAN_JITTER)
+
+
+class TestValidation:
+    def test_crash_needs_nonnegative_tick(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            NodeCrash("a", -1)
+
+    def test_rejoin_must_follow_crash(self):
+        with pytest.raises(ValueError, match="rejoin"):
+            NodeCrash("a", 10, rejoin=10)
+
+    def test_windows_must_be_nonempty(self):
+        with pytest.raises(ValueError):
+            SlowNode("a", 5, 5, 0.1)
+        with pytest.raises(ValueError):
+            BackendSpike(-1, 10, 2.0)
+        with pytest.raises(ValueError):
+            BackendErrorBurst(10, 5, 0.5)
+        with pytest.raises(ValueError):
+            FlakyConnection(3, 3, 0.5)
+
+    def test_rates_and_magnitudes(self):
+        with pytest.raises(ValueError):
+            SlowNode("a", 0, 10, 0.0)
+        with pytest.raises(ValueError):
+            BackendSpike(0, 10, 0.0)
+        with pytest.raises(ValueError):
+            BackendErrorBurst(0, 10, 1.5)
+        with pytest.raises(ValueError):
+            FlakyConnection(0, 10, -0.1)
+
+    def test_non_fault_rejected(self):
+        with pytest.raises(TypeError, match="not a fault"):
+            FaultPlan(["nope"])
+
+
+class TestRand01:
+    def test_pure_function(self):
+        assert rand01(7, 42, CHAN_JITTER, 3) == rand01(7, 42, CHAN_JITTER, 3)
+
+    def test_in_unit_interval(self):
+        draws = [rand01(1, t, CHAN_CONN_DROP) for t in range(1000)]
+        assert all(0.0 <= u < 1.0 for u in draws)
+
+    def test_channels_are_independent(self):
+        a = rand01(1, 5, CHAN_BACKEND_ERROR)
+        b = rand01(1, 5, CHAN_CONN_DROP)
+        c = rand01(1, 5, CHAN_JITTER)
+        assert len({a, b, c}) == 3
+
+    def test_seed_and_tick_and_parts_matter(self):
+        base = rand01(1, 5, CHAN_JITTER, 9)
+        assert rand01(2, 5, CHAN_JITTER, 9) != base
+        assert rand01(1, 6, CHAN_JITTER, 9) != base
+        assert rand01(1, 5, CHAN_JITTER, 10) != base
+
+    def test_roughly_uniform(self):
+        draws = [rand01(3, t, CHAN_BACKEND_ERROR) for t in range(10_000)]
+        assert abs(sum(draws) / len(draws) - 0.5) < 0.02
+
+
+class TestQueries:
+    def test_node_down_window(self):
+        plan = FaultPlan([NodeCrash("a", 10, rejoin=20)])
+        assert not plan.node_down("a", 9)
+        assert plan.node_down("a", 10)
+        assert plan.node_down("a", 19)
+        assert not plan.node_down("a", 20)
+        assert not plan.node_down("b", 15)
+
+    def test_crash_without_rejoin_is_forever(self):
+        plan = FaultPlan([NodeCrash("a", 5)])
+        assert plan.node_down("a", 10 ** 9)
+
+    def test_slow_extra_sums_overlaps(self):
+        plan = FaultPlan([SlowNode("a", 0, 100, 0.01),
+                          SlowNode("a", 50, 100, 0.02)])
+        assert plan.slow_extra("a", 10) == pytest.approx(0.01)
+        assert plan.slow_extra("a", 60) == pytest.approx(0.03)
+        assert plan.slow_extra("a", 100) == 0.0
+        assert plan.slow_extra("b", 60) == 0.0
+
+    def test_backend_multiplier_compounds(self):
+        plan = FaultPlan([BackendSpike(0, 100, 2.0),
+                          BackendSpike(50, 100, 3.0)])
+        assert plan.backend_multiplier(10) == pytest.approx(2.0)
+        assert plan.backend_multiplier(60) == pytest.approx(6.0)
+        assert plan.backend_multiplier(100) == pytest.approx(1.0)
+
+    def test_backend_error_rate_zero_and_one(self):
+        never = FaultPlan([BackendErrorBurst(0, 100, 0.0)])
+        always = FaultPlan([BackendErrorBurst(0, 100, 1.0)])
+        assert not any(never.backend_error(t) for t in range(100))
+        assert all(always.backend_error(t) for t in range(100))
+        assert not always.backend_error(100)  # outside the window
+
+    def test_backend_error_rate_is_respected(self):
+        plan = FaultPlan([BackendErrorBurst(0, 20_000, 0.1)], seed=11)
+        rate = sum(plan.backend_error(t) for t in range(20_000)) / 20_000
+        assert rate == pytest.approx(0.1, abs=0.01)
+
+    def test_conn_dropped_scoping_and_attempts(self):
+        plan = FaultPlan([FlakyConnection(0, 1000, 1.0, node="a")])
+        assert plan.conn_dropped("a", 5)
+        assert not plan.conn_dropped("b", 5)
+        cluster_wide = FaultPlan([FlakyConnection(0, 1000, 1.0)])
+        assert cluster_wide.conn_dropped("b", 5)
+        # a retry is a fresh draw, not a replay of the failed attempt
+        flaky = FaultPlan([FlakyConnection(0, 10_000, 0.5)], seed=3)
+        differs = any(
+            flaky.conn_dropped("a", t, 0) != flaky.conn_dropped("a", t, 1)
+            for t in range(100))
+        assert differs
+
+    def test_identical_plans_give_identical_trajectories(self):
+        def mk():
+            return FaultPlan([BackendErrorBurst(0, 5000, 0.2),
+                              FlakyConnection(0, 5000, 0.1)], seed=42)
+
+        p, q = mk(), mk()
+        for t in range(5000):
+            assert p.backend_error(t) == q.backend_error(t)
+            assert p.conn_dropped("n", t) == q.conn_dropped("n", t)
+            assert p.jitter(t, 1) == q.jitter(t, 1)
+
+    def test_seed_changes_trajectory_not_rate(self):
+        a = FaultPlan([BackendErrorBurst(0, 10_000, 0.2)], seed=1)
+        b = FaultPlan([BackendErrorBurst(0, 10_000, 0.2)], seed=2)
+        hits_a = [a.backend_error(t) for t in range(10_000)]
+        hits_b = [b.backend_error(t) for t in range(10_000)]
+        assert hits_a != hits_b
+        assert sum(hits_a) / 10_000 == pytest.approx(0.2, abs=0.02)
+        assert sum(hits_b) / 10_000 == pytest.approx(0.2, abs=0.02)
+
+
+class TestIntrospection:
+    def test_empty(self):
+        assert FaultPlan().empty
+        assert not FaultPlan([NodeCrash("a", 0)]).empty
+
+    def test_nodes_touched(self):
+        plan = FaultPlan([NodeCrash("a", 0), SlowNode("b", 0, 10, 0.1),
+                          FlakyConnection(0, 10, 0.5, node="c"),
+                          FlakyConnection(0, 10, 0.5),
+                          BackendSpike(0, 10, 2.0)])
+        assert plan.nodes_touched() == {"a", "b", "c"}
+
+    def test_describe(self):
+        assert "no faults" in FaultPlan(seed=9).describe()
+        text = FaultPlan([NodeCrash("a", 3)], seed=9).describe()
+        assert "seed=9" in text and "NodeCrash" in text

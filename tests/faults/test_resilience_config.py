@@ -1,0 +1,45 @@
+"""ResilienceConfig validation and the backoff formula."""
+
+import pytest
+
+from repro.faults import ResilienceConfig
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        cfg = ResilienceConfig()
+        assert cfg.failover and cfg.serve_stale
+
+    @pytest.mark.parametrize("kwargs", [
+        {"op_timeout": -1.0},
+        {"backoff_base": -0.1},
+        {"max_retries": -1},
+        {"backoff_factor": 0.5},
+        {"backoff_jitter": 1.5},
+        {"breaker_threshold": 0},
+        {"breaker_reset_ticks": 0},
+        {"stale_serve_time": -1.0},
+        {"error_penalty": -1.0},
+    ])
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ResilienceConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ResilienceConfig().op_timeout = 1.0
+
+
+class TestBackoff:
+    def test_exponential_growth(self):
+        cfg = ResilienceConfig(backoff_base=0.01, backoff_factor=2.0,
+                               backoff_jitter=0.0)
+        assert cfg.backoff(1, 0.0) == pytest.approx(0.01)
+        assert cfg.backoff(2, 0.0) == pytest.approx(0.02)
+        assert cfg.backoff(3, 0.0) == pytest.approx(0.04)
+
+    def test_jitter_scales_with_the_draw(self):
+        cfg = ResilienceConfig(backoff_base=0.01, backoff_factor=2.0,
+                               backoff_jitter=0.5)
+        assert cfg.backoff(1, 0.0) == pytest.approx(0.01)
+        assert cfg.backoff(1, 1.0) == pytest.approx(0.015)
