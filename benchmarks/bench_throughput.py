@@ -4,8 +4,14 @@ Not a paper figure: this guards the simulator's own performance (the
 paper replays ~10^9 requests; our per-request cost determines how far
 the scaled experiments can go) and quantifies each policy's bookkeeping
 overhead per operation.
+
+The measured trajectory lives in ``benchmarks/results/BENCH_throughput.json``
+(see ``record_throughput.py``, which appends to it and gates CI on
+regressions).  ``REPRO_BENCH_OPS`` overrides the op count for quick
+smoke runs.
 """
 
+import os
 import random
 
 import pytest
@@ -14,7 +20,7 @@ from repro._util import MIB
 from repro.cache import SlabCache, SizeClassConfig
 from repro.policies import make_policy
 
-N_OPS = 30_000
+N_OPS = int(os.environ.get("REPRO_BENCH_OPS", "30000"))
 
 
 def drive(cache, n=N_OPS, seed=7):
@@ -23,38 +29,46 @@ def drive(cache, n=N_OPS, seed=7):
     choice = rng.choice
     sizes = (40, 200, 900, 3000)
     pens = (0.0005, 0.005, 0.05, 0.5, 2.0)
-    get, set_ = cache.get, cache.set
+    lookup, set_ = cache.lookup, cache.set
     for _ in range(n):
         key = randrange(20_000)
         size = choice(sizes)
         pen = choice(pens)
-        if get(key, (16, size, pen)) is None:
+        if lookup(key, 16, size, pen) is None:
             set_(key, 16, size, pen)
     return cache
 
 
-def fresh_cache(policy_name):
+def fresh_cache(policy_name, tracker="exact"):
     kwargs = {"value_window": 25_000} if "pama" in policy_name else {}
+    if tracker != "exact":
+        kwargs["tracker"] = tracker
     return SlabCache(16 * MIB, make_policy(policy_name, **kwargs),
                      SizeClassConfig(slab_size=64 << 10, base_size=64))
+
+
+#: every tracked configuration, keyed by the label used in
+#: BENCH_throughput.json.
+CONFIGS = {
+    "memcached": lambda: fresh_cache("memcached"),
+    "psa": lambda: fresh_cache("psa"),
+    "lama": lambda: fresh_cache("lama"),
+    "pama": lambda: fresh_cache("pama"),
+    "pre-pama": lambda: fresh_cache("pre-pama"),
+    "pama+bloom": lambda: fresh_cache("pama", tracker="bloom"),
+}
 
 
 @pytest.mark.parametrize("policy", ["memcached", "psa", "lama", "pama",
                                     "pre-pama"])
 def bench_ops_throughput(benchmark, policy):
     result = benchmark.pedantic(
-        lambda: drive(fresh_cache(policy)), rounds=3, iterations=1)
+        lambda: drive(CONFIGS[policy]()), rounds=3, iterations=1)
     result.check_invariants()
     assert result.stats.gets == N_OPS
 
 
 def bench_pama_bloom_throughput(benchmark):
-    def run():
-        cache = SlabCache(
-            16 * MIB,
-            make_policy("pama", tracker="bloom", value_window=25_000),
-            SizeClassConfig(slab_size=64 << 10, base_size=64))
-        return drive(cache)
-
-    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    result = benchmark.pedantic(
+        lambda: drive(CONFIGS["pama+bloom"]()), rounds=3, iterations=1)
     assert result.stats.gets == N_OPS

@@ -1,0 +1,174 @@
+"""Measure cache-op throughput and track it in BENCH_throughput.json.
+
+The throughput trajectory (``benchmarks/results/BENCH_throughput.json``)
+is an append-only history of what ``bench_throughput.drive`` achieves on
+each tracked configuration.  Each run appends one entry; ``--check``
+additionally compares the gated configurations against the most recent
+committed entry with the same op count and fails (exit 1) on a >25%
+regression — the CI smoke gate for the hash-once hot path.  The floor
+is normalised for host speed via the ``memcached`` configuration (same
+engine, none of the gated machinery), so a slow CI runner rescales the
+comparison instead of failing it spuriously.
+
+Usage (from the repo root, PYTHONPATH=src)::
+
+    python benchmarks/record_throughput.py                 # full, append
+    python benchmarks/record_throughput.py --quick --check # the CI gate
+    python benchmarks/record_throughput.py --dry-run       # measure only
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from bench_throughput import CONFIGS, drive
+
+SCHEMA = "repro-kv/bench-throughput/v1"
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_throughput.json"
+#: a gated config may lose at most this fraction vs the reference entry.
+REGRESSION_TOLERANCE = 0.25
+#: config used to normalise for host speed: it runs the same engine but
+#: none of the pama/bloom machinery, so a slower CI box rescales the
+#: floor while a hash-once regression (which hits only the gated
+#: configs) still trips it.
+CALIBRATION_CONFIG = "memcached"
+
+
+def measure(n_ops: int, rounds: int, configs) -> dict[str, float]:
+    """Best-of-``rounds`` ops/sec per configuration."""
+    out = {}
+    for name in configs:
+        best = float("inf")
+        for _ in range(rounds):
+            cache = CONFIGS[name]()
+            started = time.perf_counter()
+            drive(cache, n=n_ops)
+            best = min(best, time.perf_counter() - started)
+        out[name] = round(n_ops / best, 1)
+        print(f"  {name:<12} {out[name]:>12,.0f} ops/s")
+    return out
+
+
+def load(path: Path) -> dict:
+    if path.exists():
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != SCHEMA:
+            sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+        return doc
+    return {"schema": SCHEMA,
+            "workload": {"driver": "benchmarks/bench_throughput.py::drive",
+                         "key_space": 20_000, "seed": 7},
+            "entries": []}
+
+
+def reference_entry(entries: list[dict], n_ops: int) -> dict | None:
+    """Most recent committed entry measured at the same op count."""
+    for entry in reversed(entries):
+        if entry.get("n_ops") == n_ops:
+            return entry
+    return entries[-1] if entries else None
+
+
+def check(measured: dict[str, float], reference: dict | None,
+          gates: list[str]) -> list[str]:
+    failures = []
+    if reference is None:
+        print("no reference entry to check against; skipping gate")
+        return failures
+    ref_rates = reference.get("ops_per_sec", {})
+    scale = 1.0
+    cal_ref = ref_rates.get(CALIBRATION_CONFIG)
+    cal_got = measured.get(CALIBRATION_CONFIG)
+    if cal_ref and cal_got and CALIBRATION_CONFIG not in gates:
+        scale = cal_got / cal_ref
+        print(f"host-speed calibration via {CALIBRATION_CONFIG}: "
+              f"{cal_got:,.0f} / {cal_ref:,.0f} ops/s -> x{scale:.3f}")
+    for gate in gates:
+        ref = ref_rates.get(gate)
+        got = measured.get(gate)
+        if ref is None or got is None:
+            continue
+        floor = ref * scale * (1.0 - REGRESSION_TOLERANCE)
+        verdict = "ok" if got >= floor else "REGRESSION"
+        print(f"gate {gate}: {got:,.0f} ops/s vs reference {ref:,.0f} "
+              f"({reference.get('label')}, floor {floor:,.0f}) -> {verdict}")
+        if got < floor:
+            failures.append(gate)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=30_000,
+                        help="operations per round (default 30000)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="rounds per config; best is kept")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 10000 ops, 2 rounds")
+    parser.add_argument("--configs",
+                        default=",".join(CONFIGS),
+                        help="comma-separated configuration labels")
+    parser.add_argument("--label", default="",
+                        help="entry label (default: quick/full + date)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="trajectory JSON to append to")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >25%% regression of gated configs "
+                             "against the committed reference entry")
+    parser.add_argument("--gate", default="pama,pama+bloom",
+                        help="comma-separated configs the --check gates")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="measure and print, do not touch the file")
+    args = parser.parse_args(argv)
+
+    n_ops = 10_000 if args.quick else args.ops
+    rounds = 2 if args.quick else args.rounds
+    configs = [c for c in args.configs.split(",") if c]
+    for c in configs:
+        if c not in CONFIGS:
+            sys.exit(f"unknown config {c!r}; choose from {list(CONFIGS)}")
+
+    mode = "quick" if args.quick else "full"
+    print(f"measuring {len(configs)} configs, {n_ops} ops x {rounds} rounds "
+          f"({mode} mode)")
+    measured = measure(n_ops, rounds, configs)
+
+    doc = load(args.out)
+    failures = []
+    if args.check:
+        failures = check(measured, reference_entry(doc["entries"], n_ops),
+                         [g for g in args.gate.split(",") if g])
+
+    if not args.dry_run:
+        doc["entries"].append({
+            "label": args.label or
+            f"{mode} {datetime.date.today().isoformat()}",
+            "date": datetime.date.today().isoformat(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "n_ops": n_ops,
+            "rounds": rounds,
+            "ops_per_sec": measured,
+        })
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"appended entry #{len(doc['entries'])} to {args.out}")
+
+    if failures:
+        print(f"throughput gate FAILED for: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,7 +2,8 @@
 
 from repro.bloom.bloom import BloomFilter, optimal_params
 from repro.bloom.counting import CountingBloomFilter
-from repro.bloom.hashing import double_hashes, fnv1a64, hash_key, splitmix64
+from repro.bloom.hashing import (double_hashes, fnv1a64, hash_key,
+                                 hash_pair, splitmix64)
 from repro.bloom.removal import RemovalFilter
 
 __all__ = [
@@ -11,6 +12,7 @@ __all__ = [
     "RemovalFilter",
     "optimal_params",
     "double_hashes",
+    "hash_pair",
     "fnv1a64",
     "hash_key",
     "splitmix64",

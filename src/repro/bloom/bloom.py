@@ -3,13 +3,19 @@
 PAMA uses one Bloom filter per reference segment to answer "did this
 request land in segment Sk?" in O(1) without scanning the LRU stack
 (paper §III, third challenge).
+
+The bit array is a single Python int (an arbitrary-precision bitset):
+probing is plain shift/mask arithmetic, population count is one
+``int.bit_count`` call, and the hot paths (``add_hashes`` /
+``contains_hashes``) take a precomputed :func:`~repro.bloom.hashing.hash_pair`
+so a request's key is hashed once, not once per filter.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.bloom.hashing import double_hashes
+from repro.bloom.hashing import _MASK64, hash_pair
 from repro._util import next_pow2
 
 
@@ -18,7 +24,7 @@ def optimal_params(capacity: int, fp_rate: float) -> tuple[int, int]:
 
     Standard formulas: ``m = -n ln p / (ln 2)^2``, ``k = (m/n) ln 2``.
     ``nbits`` is rounded up to a power of two so the modulo in the hash
-    probe is cheap and unbiased.
+    probe is a cheap bitmask.
     """
     if capacity <= 0:
         raise ValueError(f"capacity must be positive, got {capacity}")
@@ -36,9 +42,14 @@ class BloomFilter:
     Supports ``add``, membership via ``in``, and ``clear``.  Deletion is
     impossible by construction; PAMA layers a :class:`RemovalFilter` on
     top to mask members that have logically left a segment.
+
+    ``add``/``__contains__`` hash the key themselves (using the filter's
+    ``seed``); ``add_hashes``/``contains_hashes`` accept a base pair the
+    caller already computed — ``hash_pair(key, self.seed)`` gives
+    bit-identical behaviour to the key-based API.
     """
 
-    __slots__ = ("nbits", "nhashes", "seed", "_bits", "count")
+    __slots__ = ("nbits", "nhashes", "seed", "_bits", "_mask", "count")
 
     def __init__(self, capacity: int = 1024, fp_rate: float = 0.01,
                  *, nbits: int | None = None, nhashes: int | None = None,
@@ -52,34 +63,61 @@ class BloomFilter:
         self.nbits = nbits
         self.nhashes = nhashes
         self.seed = seed
-        self._bits = bytearray((nbits + 7) // 8)
+        #: probe mask when nbits is a power of two, else 0 (modulo path).
+        self._mask = nbits - 1 if nbits & (nbits - 1) == 0 else 0
+        #: the bitset: bit ``p`` set ⇔ some member probed position ``p``.
+        self._bits = 0
         #: number of ``add`` calls since the last clear (an upper bound on
         #: the number of distinct members).
         self.count = 0
 
     def add(self, key: object) -> None:
         """Insert ``key`` into the filter."""
+        h1, h2 = hash_pair(key, self.seed)
+        self.add_hashes(h1, h2)
+
+    def add_hashes(self, h1: int, h2: int) -> None:
+        """Insert by precomputed base pair (the hash-once fast path)."""
         bits = self._bits
-        for pos in double_hashes(key, self.nhashes, self.nbits, self.seed):
-            bits[pos >> 3] |= 1 << (pos & 7)
+        mask = self._mask
+        if mask:
+            for i in range(self.nhashes):
+                bits |= 1 << ((h1 + i * h2) & mask)
+        else:
+            nbits = self.nbits
+            for i in range(self.nhashes):
+                bits |= 1 << (((h1 + i * h2) & _MASK64) % nbits)
+        self._bits = bits
         self.count += 1
 
     def __contains__(self, key: object) -> bool:
+        h1, h2 = hash_pair(key, self.seed)
+        return self.contains_hashes(h1, h2)
+
+    def contains_hashes(self, h1: int, h2: int) -> bool:
+        """Membership by precomputed base pair; early-exits on the first
+        clear bit instead of materialising all probe positions."""
         bits = self._bits
-        for pos in double_hashes(key, self.nhashes, self.nbits, self.seed):
-            if not bits[pos >> 3] & (1 << (pos & 7)):
-                return False
+        mask = self._mask
+        if mask:
+            for i in range(self.nhashes):
+                if not (bits >> ((h1 + i * h2) & mask)) & 1:
+                    return False
+        else:
+            nbits = self.nbits
+            for i in range(self.nhashes):
+                if not (bits >> (((h1 + i * h2) & _MASK64) % nbits)) & 1:
+                    return False
         return True
 
     def clear(self) -> None:
         """Reset to the empty filter."""
-        self._bits = bytearray(len(self._bits))
+        self._bits = 0
         self.count = 0
 
     def saturation(self) -> float:
         """Fraction of bits set — a health metric for sizing decisions."""
-        set_bits = sum(bin(b).count("1") for b in self._bits)
-        return set_bits / self.nbits
+        return self._bits.bit_count() / self.nbits
 
     def estimated_fp_rate(self) -> float:
         """Estimated current false-positive probability from saturation."""

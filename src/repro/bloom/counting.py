@@ -8,7 +8,7 @@ ablation to quantify the trade-off.
 
 from __future__ import annotations
 
-from repro.bloom.hashing import double_hashes
+from repro.bloom.hashing import _MASK64, hash_pair
 from repro.bloom.bloom import optimal_params
 
 
@@ -21,7 +21,7 @@ class CountingBloomFilter:
     under heavy reuse.
     """
 
-    __slots__ = ("nbits", "nhashes", "seed", "_counts", "count")
+    __slots__ = ("nbits", "nhashes", "seed", "_counts", "_mask", "count")
 
     _SATURATED = 255
 
@@ -31,13 +31,28 @@ class CountingBloomFilter:
         self.nbits = nbits
         self.nhashes = nhashes
         self.seed = seed
+        #: probe mask when nbits is a power of two, else 0 (modulo path).
+        self._mask = nbits - 1 if nbits & (nbits - 1) == 0 else 0
         self._counts = bytearray(nbits)
         self.count = 0
 
+    def _position(self, h1: int, h2: int, i: int) -> int:
+        mask = self._mask
+        if mask:
+            return (h1 + i * h2) & mask
+        return ((h1 + i * h2) & _MASK64) % self.nbits
+
     def add(self, key: object) -> None:
+        h1, h2 = hash_pair(key, self.seed)
+        self.add_hashes(h1, h2)
+
+    def add_hashes(self, h1: int, h2: int) -> None:
+        """Insert by precomputed base pair (the hash-once fast path)."""
         counts = self._counts
-        for pos in double_hashes(key, self.nhashes, self.nbits, self.seed):
-            if counts[pos] < self._SATURATED:
+        saturated = self._SATURATED
+        for i in range(self.nhashes):
+            pos = self._position(h1, h2, i)
+            if counts[pos] < saturated:
                 counts[pos] += 1
         self.count += 1
 
@@ -48,19 +63,33 @@ class CountingBloomFilter:
         Removing a key that was never added corrupts a plain counting
         filter; the membership pre-check makes that a no-op instead.
         """
-        if key not in self:
+        h1, h2 = hash_pair(key, self.seed)
+        return self.remove_hashes(h1, h2)
+
+    def remove_hashes(self, h1: int, h2: int) -> bool:
+        """``remove`` by precomputed base pair."""
+        if not self.contains_hashes(h1, h2):
             return False
         counts = self._counts
-        for pos in double_hashes(key, self.nhashes, self.nbits, self.seed):
-            if 0 < counts[pos] < self._SATURATED:
+        saturated = self._SATURATED
+        for i in range(self.nhashes):
+            pos = self._position(h1, h2, i)
+            if 0 < counts[pos] < saturated:
                 counts[pos] -= 1
         self.count = max(0, self.count - 1)
         return True
 
     def __contains__(self, key: object) -> bool:
+        h1, h2 = hash_pair(key, self.seed)
+        return self.contains_hashes(h1, h2)
+
+    def contains_hashes(self, h1: int, h2: int) -> bool:
+        """Membership by precomputed base pair, with early exit."""
         counts = self._counts
-        return all(counts[pos] > 0 for pos in
-                   double_hashes(key, self.nhashes, self.nbits, self.seed))
+        for i in range(self.nhashes):
+            if not counts[self._position(h1, h2, i)]:
+                return False
+        return True
 
     def clear(self) -> None:
         self._counts = bytearray(self.nbits)

@@ -6,11 +6,20 @@ construction (Kirsch & Mitzenmacher): ``h_i = h1 + i * h2``.
 
 Keys in the simulator are integers (interned key ids) but the cache and
 server accept ``bytes``/``str`` keys too, so both paths are provided.
+
+The hot path computes the base pair once per request
+(:func:`hash_pair`) and threads it through every filter probe; the
+key-based helpers remain as the reference construction the fast paths
+must agree with bit-for-bit.
 """
 
 from __future__ import annotations
 
 _MASK64 = (1 << 64) - 1
+
+#: seed offset separating the two base hashes of the double-hashing
+#: pair; shared by :func:`hash_pair` and :func:`double_hashes`.
+PAIR_SEED_DELTA = 0x5BD1E995
 
 # splitmix64 constants (Steele, Lea, Flood — "Fast splittable PRNGs").
 _SM_GAMMA = 0x9E3779B97F4A7C15
@@ -48,7 +57,12 @@ def hash_key(key: object, seed: int = 0) -> int:
     if isinstance(key, bool):  # bool is an int subclass; reject explicitly
         raise TypeError("bool is not a valid cache key")
     if isinstance(key, int):
-        return splitmix64((key ^ (seed * _SM_GAMMA)) & _MASK64)
+        # splitmix64, inlined: this is the replay engine's innermost
+        # function (twice per GET) and the nested call costs ~40% of it.
+        x = ((key ^ (seed * _SM_GAMMA)) + _SM_GAMMA) & _MASK64
+        x = ((x ^ (x >> 30)) * _SM_MUL1) & _MASK64
+        x = ((x ^ (x >> 27)) * _SM_MUL2) & _MASK64
+        return x ^ (x >> 31)
     if isinstance(key, str):
         key = key.encode("utf-8")
     if isinstance(key, (bytes, bytearray)):
@@ -56,17 +70,37 @@ def hash_key(key: object, seed: int = 0) -> int:
     raise TypeError(f"unhashable key type for bloom filter: {type(key)!r}")
 
 
+def hash_pair(key: object, seed: int = 0) -> tuple[int, int]:
+    """Base double-hashing pair ``(h1, h2)`` for ``key``; ``h2`` is odd.
+
+    Probe ``i`` of a ``nbits``-wide filter is
+    ``((h1 + i*h2) & 2**64-1) % nbits`` — which reduces to
+    ``(h1 + i*h2) & (nbits - 1)`` when ``nbits`` is a power of two.
+    Computing the pair once per request and reusing it across every
+    filter is what makes the replay hot path hash each key exactly once.
+    """
+    return (hash_key(key, seed),
+            hash_key(key, seed + PAIR_SEED_DELTA) | 1)
+
+
 def double_hashes(key: object, k: int, nbits: int, seed: int = 0) -> list[int]:
     """Return ``k`` bit positions in ``[0, nbits)`` for ``key``.
 
     Uses two base hashes combined as ``h1 + i*h2`` (with ``h2`` forced
     odd so the probe sequence covers the table when nbits is a power of
-    two).
+    two).  This is the reference construction; the filters' ``*_hashes``
+    fast paths must produce exactly these positions.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     if nbits <= 0:
         raise ValueError(f"nbits must be positive, got {nbits}")
     h1 = hash_key(key, seed)
-    h2 = hash_key(key, seed + 0x5BD1E995) | 1
+    h2 = hash_key(key, seed + PAIR_SEED_DELTA) | 1
+    if nbits & (nbits - 1) == 0:
+        # optimal_params rounds nbits to a power of two expressly so the
+        # reduction is a cheap mask; ((x & MASK64) & (nbits-1)) == x & (nbits-1)
+        # because nbits-1 selects a subset of the low 64 bits.
+        mask = nbits - 1
+        return [(h1 + i * h2) & mask for i in range(k)]
     return [((h1 + i * h2) & _MASK64) % nbits for i in range(k)]

@@ -12,10 +12,17 @@ the fresh member.
 from __future__ import annotations
 
 from repro.bloom.bloom import BloomFilter
+from repro.bloom.hashing import hash_pair
 
 
 class RemovalFilter:
-    """Bloom filter with the paper's clear-on-readd semantics."""
+    """Bloom filter with the paper's clear-on-readd semantics.
+
+    Mirrors :class:`BloomFilter`'s two-level API: key-based methods hash
+    with the filter's seed; ``*_hashes`` variants take a precomputed
+    :func:`~repro.bloom.hashing.hash_pair` so the tracker hot path
+    hashes each request key once for all filters.
+    """
 
     __slots__ = ("_filter", "clears", "removals")
 
@@ -29,18 +36,32 @@ class RemovalFilter:
 
     def mark_removed(self, key: object) -> None:
         """Record that ``key`` left the segments (e.g. was hit → MRU)."""
-        self._filter.add(key)
+        h1, h2 = hash_pair(key, self._filter.seed)
+        self.mark_removed_hashes(h1, h2)
+
+    def mark_removed_hashes(self, h1: int, h2: int) -> None:
+        """``mark_removed`` by precomputed base pair."""
+        self._filter.add_hashes(h1, h2)
         self.removals += 1
 
     def on_segment_add(self, key: object) -> None:
         """A key entered a segment; clear the filter if it would be masked."""
-        if key in self._filter:
+        h1, h2 = hash_pair(key, self._filter.seed)
+        self.on_segment_add_hashes(h1, h2)
+
+    def on_segment_add_hashes(self, h1: int, h2: int) -> None:
+        """``on_segment_add`` by precomputed base pair."""
+        if self._filter.contains_hashes(h1, h2):
             self._filter.clear()
             self.clears += 1
 
     def masks(self, key: object) -> bool:
         """True if a segment-filter positive for ``key`` must be ignored."""
         return key in self._filter
+
+    def masks_hashes(self, h1: int, h2: int) -> bool:
+        """``masks`` by precomputed base pair."""
+        return self._filter.contains_hashes(h1, h2)
 
     def clear(self) -> None:
         self._filter.clear()

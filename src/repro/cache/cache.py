@@ -20,6 +20,7 @@ from typing import Iterator
 
 from repro import obs as _obs
 from repro._util import fmt_bytes
+from repro.bloom.hashing import PAIR_SEED_DELTA, hash_key
 from repro.cache.errors import (InvalidItemError, ItemTooLargeError,
                                 OutOfMemoryError, PolicyError)
 from repro.cache.item import Item
@@ -71,6 +72,10 @@ class SlabCache:
         if _obs.is_enabled():
             self.attach_obs(_obs.get_registry(), _obs.get_event_trace())
         policy.attach(self)
+        #: hash-once: when the policy probes Bloom filters on the access
+        #: path, the cache computes the key's base hash pair per request
+        #: and threads it through the policy callbacks.
+        self._wants_hashes = bool(getattr(policy, "wants_key_hashes", False))
 
     def attach_obs(self, registry, events=None) -> None:
         """Attach a metrics registry (and optional event trace).
@@ -147,57 +152,84 @@ class SlabCache:
         miss accounting and the service-time statistics.  A real server
         calls ``get(key)`` plain and penalties are accounted on the
         subsequent fill SET instead.
+
+        This is the compatibility wrapper; :meth:`lookup` is the same
+        operation with scalar arguments (no tuple to build or unpack on
+        the replay hot path).
+        """
+        if miss_info is None:
+            return self.lookup(key, -1, 0, math.nan)
+        key_size, value_size, penalty = miss_info
+        return self.lookup(key, key_size, value_size, penalty)
+
+    def lookup(self, key: object, key_size: int, value_size: int,
+               penalty: float) -> Item | None:
+        """GET with scalar miss accounting — the replay engine hot path.
+
+        ``key_size < 0`` means "miss details unknown" (the plain
+        ``get(key)`` server path): the miss is counted but no per-queue
+        miss accounting happens.  Behaviour is identical to
+        :meth:`get`; only the calling convention differs.
         """
         self.accesses += 1
-        self.stats.gets += 1
+        stats = self.stats
+        stats.gets += 1
+        if self._wants_hashes:
+            # Hash-once: the single place a request's key meets the hash
+            # function; every Bloom probe downstream reuses this pair.
+            h1 = hash_key(key, 0)
+            h2 = hash_key(key, PAIR_SEED_DELTA) | 1
+        else:
+            h1 = h2 = 0
         self._in_operation = True
         try:
             item = self.index.get(key)
             if item is not None and item.expires_at \
                     and self.clock() >= item.expires_at:
                 self._unlink(item)
-                self.stats.expired += 1
+                stats.expired += 1
                 if self.obs is not None:
                     self._c_expired.inc()
                 item = None
             if item is not None:
                 queue = self.queues[(item.class_idx, item.bin_idx)]
-                queue.stats.gets += 1
-                queue.stats.hits += 1
-                self.stats.hits += 1
+                qstats = queue.stats
+                qstats.gets += 1
+                qstats.hits += 1
+                stats.hits += 1
                 if self.obs is not None:
                     self._c_gets.inc()
                     self._c_hits.inc()
-                self.policy.on_hit(queue, item)
+                self.policy.on_hit(queue, item, h1, h2)
                 queue.lru.move_to_front(item)
                 item.last_access = self.accesses
                 return item
             # miss
-            self.stats.misses += 1
+            stats.misses += 1
             if self.obs is not None:
                 self._c_gets.inc()
                 self._c_misses.inc()
-            class_idx, penalty = -1, math.nan
-            if miss_info is not None:
-                key_size, value_size, penalty = miss_info
+            class_idx = -1
+            if key_size >= 0:
                 try:
                     class_idx = self.size_classes.class_for_size(
                         key_size + value_size)
                 except ItemTooLargeError:
                     class_idx = -1
                 if penalty == penalty:  # not NaN
-                    self.stats.total_miss_penalty += penalty
+                    stats.total_miss_penalty += penalty
                 bin_idx = (self.policy.bin_for(penalty)
                            if penalty == penalty else 0)
                 if class_idx >= 0:
                     q = self.queue_for(class_idx, bin_idx)
                     q.stats.gets += 1
                     q.stats.misses += 1
-            self.policy.on_miss(key, class_idx, penalty)
+            self.policy.on_miss(key, class_idx, penalty, h1, h2)
             return None
         finally:
             self._in_operation = False
-            self._flush_migrations()
+            if self._pending_migrations:
+                self._flush_migrations()
 
     def set(self, key: object, key_size: int, value_size: int,
             penalty: float, value: object = None,
@@ -250,7 +282,8 @@ class SlabCache:
             return True
         finally:
             self._in_operation = False
-            self._flush_migrations()
+            if self._pending_migrations:
+                self._flush_migrations()
 
     def delete(self, key: object) -> bool:
         """Remove ``key``; returns True if it was present."""

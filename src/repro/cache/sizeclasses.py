@@ -31,7 +31,7 @@ class SizeClassConfig:
     """
 
     __slots__ = ("slab_size", "base_size", "growth", "item_overhead",
-                 "_slot_sizes", "_slots_per_slab")
+                 "_slot_sizes", "_slots_per_slab", "_class_cache")
 
     def __init__(self, slab_size: int = MIB, base_size: int = 64,
                  growth: float = 2.0, item_overhead: int = 0) -> None:
@@ -58,6 +58,10 @@ class SizeClassConfig:
             size *= growth
         self._slot_sizes = tuple(sizes)
         self._slots_per_slab = tuple(slab_size // s for s in sizes)
+        # item_size -> class memo: traces draw from a handful of
+        # distinct sizes, so the GET/SET hot path resolves classes with
+        # one dict probe instead of a scan (only valid sizes are cached).
+        self._class_cache: dict[int, int] = {}
 
     @property
     def num_classes(self) -> int:
@@ -82,6 +86,9 @@ class SizeClassConfig:
         Raises :class:`ItemTooLargeError` if no class fits and
         :class:`InvalidItemError` for non-positive sizes.
         """
+        cached = self._class_cache.get(item_size)
+        if cached is not None:
+            return cached
         if item_size <= 0:
             raise InvalidItemError(f"item size must be positive, got {item_size}")
         total = item_size + self.item_overhead
@@ -91,6 +98,7 @@ class SizeClassConfig:
         # and stays obviously correct for non-power-of-two growth.
         for idx, slot in enumerate(self._slot_sizes):
             if total <= slot:
+                self._class_cache[item_size] = idx
                 return idx
         raise AssertionError("unreachable: size checked against max")
 

@@ -294,6 +294,45 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Replay a synthetic trace under cProfile; print the hot spots.
+
+    This is the methodology behind the hash-once hot-path work (see
+    docs/performance.md): generate a deterministic trace, replay it
+    in-process, and rank functions by cumulative time so a future change
+    to the GET/SET path can be profiled with one command.
+    """
+    import cProfile
+    import pstats
+
+    from repro.cache import SlabCache, SizeClassConfig
+    from repro.policies import make_policy
+    from repro.sim.service import ServiceTimeModel
+    from repro.sim.simulator import Simulator
+
+    trace = _trace_from_args(args)
+    kwargs = {}
+    if args.policy in ("pama", "pre-pama"):
+        kwargs["tracker"] = args.tracker
+    cache = SlabCache(parse_size(args.cache_size),
+                      make_policy(args.policy, **kwargs),
+                      SizeClassConfig(slab_size=parse_size(args.slab_size)))
+    sim = Simulator(cache, ServiceTimeModel(hit_time=args.hit_time),
+                    window_gets=args.window)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = sim.run(trace)
+    profiler.disable()
+    rate = len(trace) / result.elapsed_seconds if result.elapsed_seconds else 0
+    tracker = f", {args.tracker} tracker" if kwargs else ""
+    print(f"replayed {len(trace)} requests under {args.policy}{tracker}: "
+          f"hit ratio {result.hit_ratio:.4f}, "
+          f"{rate:,.0f} ops/s (with profiler overhead)")
+    print()
+    pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-kv",
@@ -379,6 +418,21 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the faulted runs' obs registry "
                         "(fault/retry/breaker counters) as JSON")
     x.set_defaults(func=cmd_chaos)
+
+    pr = subs.add_parser(
+        "profile",
+        help="replay a synthetic trace under cProfile; print hot spots")
+    _add_trace_args(pr)
+    _add_cache_args(pr)
+    pr.add_argument("--policy", default="pama", choices=POLICY_NAMES)
+    pr.add_argument("--tracker", default="bloom",
+                    choices=["exact", "bloom"],
+                    help="PAMA segment tracker (pama/pre-pama only)")
+    pr.add_argument("--top", type=int, default=20,
+                    help="how many functions to print")
+    pr.add_argument("--sort", default="cumulative",
+                    choices=["cumulative", "tottime", "calls"])
+    pr.set_defaults(func=cmd_profile)
 
     v = subs.add_parser("serve", help="run the memcached-protocol server")
     v.add_argument("--host", default="127.0.0.1")

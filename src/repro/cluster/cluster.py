@@ -129,6 +129,16 @@ class CacheCluster:
         return self._routed(key,
                             lambda node: node.get(key, miss_info), None)
 
+    def lookup(self, key: object, key_size: int, value_size: int,
+               penalty: float) -> Item | None:
+        """Scalar GET fast path, mirroring :meth:`SlabCache.lookup`."""
+        if self.faults is None:
+            return self.node_for(key).lookup(key, key_size, value_size,
+                                             penalty)
+        return self._routed(
+            key, lambda node: node.lookup(key, key_size, value_size, penalty),
+            None)
+
     def set(self, key: object, key_size: int, value_size: int,
             penalty: float, value: object = None) -> bool:
         if self.faults is None:

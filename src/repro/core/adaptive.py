@@ -107,6 +107,7 @@ class AdaptivePamaPolicy(PamaPolicy):
         self.observe_penalty(item.penalty)
         super().on_insert(queue, item)
 
-    def on_miss(self, key: object, class_idx: int, penalty: float) -> None:
+    def on_miss(self, key: object, class_idx: int, penalty: float,
+                h1: int = 0, h2: int = 0) -> None:
         self.observe_penalty(penalty)
-        super().on_miss(key, class_idx, penalty)
+        super().on_miss(key, class_idx, penalty, h1, h2)

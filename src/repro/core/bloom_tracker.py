@@ -11,11 +11,21 @@ the removal filter masking items that were promoted out.  This is an
 approximation (items drifting *into* segments between rebuilds are
 invisible until the next rebuild), which is exactly the trade-off the
 paper accepts; the exact tracker exists to quantify it (ablation bench).
+
+Hot-path contract: every filter of a tracker probes with the *same*
+request-level base pair ``(h1, h2)`` (see
+:func:`~repro.bloom.hashing.hash_pair` with seed 0), computed once per
+request by :class:`~repro.cache.cache.SlabCache` and threaded through
+``PamaPolicy.on_hit`` → :meth:`segment_on_access`.  Sharing one pair
+across filters is sound — each filter owns a separate bit array, so
+per-filter hash independence buys nothing — and it is what lets a
+request hash its key exactly once no matter how many segments exist.
 """
 
 from __future__ import annotations
 
 from repro.bloom import BloomFilter, RemovalFilter
+from repro.bloom.hashing import PAIR_SEED_DELTA, hash_key
 from repro.cache.item import Item
 from repro.cache.lru import LRUList
 
@@ -35,31 +45,45 @@ class BloomSegmentTracker:
         self.lru = lru
         self.seg_len = seg_len
         self.num_segments = num_segments
-        self.filters = [BloomFilter(max(seg_len, 8), fp_rate, seed=seed + k)
-                        for k in range(num_segments)]
+        # All filters hash with seed 0: probes use the request-level
+        # hash pair the cache computes once, and the key-based filter
+        # API must agree with it bit-for-bit.  (``seed`` is accepted for
+        # backward compatibility but no longer selects a hash family.)
+        self.filters = [BloomFilter(max(seg_len, 8), fp_rate, seed=0)
+                        for _ in range(num_segments)]
         self.removal = RemovalFilter(max(seg_len * num_segments, 8),
-                                     fp_rate, seed=seed + 0x52454D)
+                                     fp_rate, seed=0)
         self.rebuilds = 0
         self.queries = 0
         self.false_region_hits = 0
         lru.observer = self
 
     # -- queries ---------------------------------------------------------
-    def segment_on_access(self, item: Item) -> int:
+    def segment_on_access(self, item: Item, h1: int = 0, h2: int = 0) -> int:
         """Segment attributed to this access, or -1.
 
         Tests the per-segment filters bottom-up; a positive counts only
         if the removal filter does not mask it.  A matching item is then
         marked removed (its promotion pulls it out of the segment).
+
+        ``(h1, h2)`` is the request's base hash pair; a real ``h2`` is
+        always odd, so ``h2 == 0`` means "not supplied" and the pair is
+        derived from ``item.key`` here (the slow, standalone path).
         """
         self.queries += 1
-        key = item.key
-        if self.removal.masks(key):
+        if h2 == 0:
+            key = item.key
+            h1 = hash_key(key, 0)
+            h2 = hash_key(key, PAIR_SEED_DELTA) | 1
+        removal = self.removal
+        if removal.masks_hashes(h1, h2):
             return -1
-        for k, filt in enumerate(self.filters):
-            if key in filt:
-                self.removal.mark_removed(key)
+        k = 0
+        for filt in self.filters:
+            if filt.contains_hashes(h1, h2):
+                removal.mark_removed_hashes(h1, h2)
                 return k
+            k += 1
         return -1
 
     def rollover(self) -> None:
@@ -79,17 +103,26 @@ class BloomSegmentTracker:
 
         Adding a key that collides with the removal filter clears the
         removal filter, per the paper: otherwise the fresh member would
-        be wrongly masked.
+        be wrongly masked.  Each key is hashed once; the same pair feeds
+        the removal filter and the segment filter.
         """
         for filt in self.filters:
             filt.clear()
         node = self.lru.back
-        pos = 0
-        limit = self.num_segments * self.seg_len
-        while node is not None and pos < limit:
-            seg = pos // self.seg_len
-            self.removal.on_segment_add(node.key)
-            self.filters[seg].add(node.key)
-            node = node.prev
-            pos += 1
+        seg_len = self.seg_len
+        removal_add = self.removal.on_segment_add_hashes
+        delta = PAIR_SEED_DELTA
+        for filt in self.filters:
+            if node is None:
+                break
+            filt_add = filt.add_hashes
+            remaining = seg_len
+            while remaining and node is not None:
+                key = node.key
+                h1 = hash_key(key, 0)
+                h2 = hash_key(key, delta) | 1
+                removal_add(h1, h2)
+                filt_add(h1, h2)
+                node = node.prev
+                remaining -= 1
         self.rebuilds += 1

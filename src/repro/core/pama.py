@@ -55,6 +55,14 @@ class PamaPolicy(AllocationPolicy):
     def __init__(self, config: PamaConfig | None = None) -> None:
         super().__init__()
         self.config = config or PamaConfig()
+        # Bloom tracking probes filters on every hit; ask the cache to
+        # compute the request key's hash pair once and thread it down.
+        self.wants_key_hashes = self.config.tracker == "bloom"
+        # Hoisted off the frozen dataclass: read on every single access.
+        self._value_window = self.config.value_window
+        #: penalty -> bin memo; traces draw from a handful of distinct
+        #: penalties and binning runs on every GET miss and SET.
+        self._bin_cache: dict[float, int] = {}
         #: key -> owning queue state, for O(1) ghost lookups on misses
         #: without knowing the missed item's size.
         self.ghost_owner: dict[object, PamaQueueState] = {}
@@ -67,7 +75,12 @@ class PamaPolicy(AllocationPolicy):
 
     # -- binning -------------------------------------------------------
     def bin_for(self, penalty: float) -> int:
-        return self.config.bin_for(penalty)
+        b = self._bin_cache.get(penalty)
+        if b is None:
+            # Invalid penalties (NaN, negatives) raise here and are
+            # never cached.
+            b = self._bin_cache[penalty] = self.config.bin_for(penalty)
+        return b
 
     # -- per-queue state --------------------------------------------------
     def on_queue_created(self, queue: Queue) -> None:
@@ -93,7 +106,7 @@ class PamaPolicy(AllocationPolicy):
 
     def _maybe_rollover(self) -> None:
         cfg = self.config
-        if self.cache.accesses - self._last_rollover < cfg.value_window:
+        if self.cache.accesses - self._last_rollover < self._value_window:
             return
         self._last_rollover = self.cache.accesses
         for state in self._states.values():
@@ -105,14 +118,20 @@ class PamaPolicy(AllocationPolicy):
                           window=cfg.value_window, queues=len(self._states))
 
     # -- event observation ----------------------------------------------
-    def on_hit(self, queue: Queue, item: Item) -> None:
-        self._maybe_rollover()
+    def on_hit(self, queue: Queue, item: Item,
+               h1: int = 0, h2: int = 0) -> None:
+        # Inline the cheap side of _maybe_rollover: one subtraction per
+        # hit instead of a method call.
+        if self.cache.accesses - self._last_rollover >= self._value_window:
+            self._maybe_rollover()
         state: PamaQueueState = queue.policy_data
-        seg = state.tracker.segment_on_access(item)
+        seg = state.tracker.segment_on_access(item, h1, h2)
         if seg >= 0:
-            state.values.add_outgoing(seg, self._contribution(item.penalty))
+            state.values.add_outgoing(
+                seg, item.penalty if self.penalty_aware else 1.0)
 
-    def on_miss(self, key: object, class_idx: int, penalty: float) -> None:
+    def on_miss(self, key: object, class_idx: int, penalty: float,
+                h1: int = 0, h2: int = 0) -> None:
         self._maybe_rollover()
         state = self.ghost_owner.get(key)
         if state is None:

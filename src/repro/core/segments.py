@@ -50,10 +50,12 @@ class SegmentTracker:
         lru.observer = self
 
     # -- queries ---------------------------------------------------------
-    def segment_on_access(self, item: Item) -> int:
+    def segment_on_access(self, item: Item, h1: int = 0, h2: int = 0) -> int:
         """Segment the item occupies right now (-1 if above the region).
 
         Must be called *before* the LRU promotion that the access causes.
+        The optional hash pair mirrors the Bloom tracker's interface and
+        is ignored — exact tracking reads the index off the item.
         """
         return item.seg
 

@@ -34,13 +34,15 @@ class AutoMovePolicy(AllocationPolicy):
         # trailing per-window miss maps, newest last (length <= streak)
         self._history: list[dict[tuple[int, int], int]] = []
 
-    def on_miss(self, key: object, class_idx: int, penalty: float) -> None:
+    def on_miss(self, key: object, class_idx: int, penalty: float,
+                h1: int = 0, h2: int = 0) -> None:
         if class_idx >= 0:
             qid = (class_idx, 0)
             self._misses[qid] = self._misses.get(qid, 0) + 1
         self._maybe_close_window()
 
-    def on_hit(self, queue: Queue, item) -> None:
+    def on_hit(self, queue: Queue, item,
+               h1: int = 0, h2: int = 0) -> None:
         self._maybe_close_window()
 
     def _maybe_close_window(self) -> None:

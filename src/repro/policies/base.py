@@ -40,6 +40,14 @@ class AllocationPolicy(ABC):
     #: semantics set this to False and the SET fails instead.
     allow_fallback_donor = True
 
+    #: True when the policy's bookkeeping probes Bloom filters on the
+    #: access path (PAMA with the Bloom tracker).  The cache then
+    #: computes the request key's base hash pair *once* per operation
+    #: (:func:`~repro.bloom.hashing.hash_pair` with seed 0) and passes
+    #: it to ``on_hit``/``on_miss``; policies that don't probe filters
+    #: skip the hashing entirely.
+    wants_key_hashes = False
+
     def __init__(self) -> None:
         self.cache: SlabCache | None = None
 
@@ -59,11 +67,21 @@ class AllocationPolicy(ABC):
         return 0
 
     # -- event observation ----------------------------------------------
-    def on_hit(self, queue: Queue, item: Item) -> None:
-        """A GET hit ``item``; fired *before* the LRU promotion."""
+    def on_hit(self, queue: Queue, item: Item,
+               h1: int = 0, h2: int = 0) -> None:
+        """A GET hit ``item``; fired *before* the LRU promotion.
 
-    def on_miss(self, key: object, class_idx: int, penalty: float) -> None:
-        """A GET missed. ``class_idx``/``penalty`` are -1/nan when unknown."""
+        ``(h1, h2)`` is the request key's base hash pair, supplied only
+        when :attr:`wants_key_hashes` is set (0, 0 otherwise — a real
+        ``h2`` is always odd, so ``h2 == 0`` is an unambiguous "absent").
+        """
+
+    def on_miss(self, key: object, class_idx: int, penalty: float,
+                h1: int = 0, h2: int = 0) -> None:
+        """A GET missed. ``class_idx``/``penalty`` are -1/nan when unknown.
+
+        ``(h1, h2)`` follows the same contract as :meth:`on_hit`.
+        """
 
     def on_insert(self, queue: Queue, item: Item) -> None:
         """``item`` was stored (fired after it joined the queue MRU)."""

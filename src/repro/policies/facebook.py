@@ -53,10 +53,12 @@ class FacebookPolicy(AllocationPolicy):
                 and oldest is not youngest and oldest.can_donate()):
             cache.migrate(oldest, youngest)
 
-    def on_hit(self, queue: Queue, item) -> None:
+    def on_hit(self, queue: Queue, item,
+               h1: int = 0, h2: int = 0) -> None:
         self._maybe_rebalance()
 
-    def on_miss(self, key: object, class_idx: int, penalty: float) -> None:
+    def on_miss(self, key: object, class_idx: int, penalty: float,
+                h1: int = 0, h2: int = 0) -> None:
         self._maybe_rebalance()
 
     def resolve_pressure(self, queue: Queue, must_migrate: bool) -> Queue | None:

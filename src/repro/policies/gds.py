@@ -76,7 +76,8 @@ class GreedyDualSizePolicy(AllocationPolicy):
     def on_insert(self, queue: Queue, item: Item) -> None:
         self._push(queue, item)
 
-    def on_hit(self, queue: Queue, item: Item) -> None:
+    def on_hit(self, queue: Queue, item: Item,
+               h1: int = 0, h2: int = 0) -> None:
         # a hit refreshes H with the current inflation value
         self._push(queue, item)
 

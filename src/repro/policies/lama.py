@@ -91,11 +91,13 @@ class LamaPolicy(AllocationPolicy):
         if prof.profiler.sampled(key):
             prof.histogram.add(prof.profiler.record(key))
 
-    def on_hit(self, queue: Queue, item) -> None:
+    def on_hit(self, queue: Queue, item,
+               h1: int = 0, h2: int = 0) -> None:
         self._record(queue.class_idx, item.key, item.penalty)
         self._maybe_reallocate()
 
-    def on_miss(self, key: object, class_idx: int, penalty: float) -> None:
+    def on_miss(self, key: object, class_idx: int, penalty: float,
+                h1: int = 0, h2: int = 0) -> None:
         if class_idx >= 0:
             self._record(class_idx, key, penalty)
         self._maybe_reallocate()

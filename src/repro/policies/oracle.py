@@ -115,11 +115,13 @@ class OraclePolicy(AllocationPolicy):
     def on_queue_created(self, queue: Queue) -> None:
         queue.policy_data = _OracleQueueState()
 
-    def on_hit(self, queue: Queue, item: Item) -> None:
+    def on_hit(self, queue: Queue, item: Item,
+               h1: int = 0, h2: int = 0) -> None:
         self._advance(item.key)
         self._push(queue, item)
 
-    def on_miss(self, key: object, class_idx: int, penalty: float) -> None:
+    def on_miss(self, key: object, class_idx: int, penalty: float,
+                h1: int = 0, h2: int = 0) -> None:
         self._advance(key)
 
     def on_insert(self, queue: Queue, item: Item) -> None:

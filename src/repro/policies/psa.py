@@ -39,13 +39,15 @@ class PSAPolicy(AllocationPolicy):
         counters[0] += requests
         counters[1] += misses
 
-    def on_hit(self, queue: Queue, item) -> None:
+    def on_hit(self, queue: Queue, item,
+               h1: int = 0, h2: int = 0) -> None:
         self._bump(queue.qid, 1, 0)
 
     def on_insert(self, queue: Queue, item) -> None:
         self._bump(queue.qid, 1, 0)
 
-    def on_miss(self, key: object, class_idx: int, penalty: float) -> None:
+    def on_miss(self, key: object, class_idx: int, penalty: float,
+                h1: int = 0, h2: int = 0) -> None:
         if class_idx >= 0:
             self._bump((class_idx, 0), 1, 1)
         self._miss_count += 1

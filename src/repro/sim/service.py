@@ -33,3 +33,19 @@ class ServiceTimeModel:
     def miss(self, penalty: float) -> float:
         """Service time of a GET miss with the given penalty."""
         return penalty
+
+    def miss_array(self, penalties) -> list[float]:
+        """Vector form of :meth:`miss` over a whole trace column.
+
+        The simulator precomputes every row's miss cost once, before the
+        replay loop, instead of calling :meth:`miss` per request.  For
+        the default model the cost *is* the penalty, so the column
+        converts straight to plain floats (``tolist``) — bit-identical
+        to the per-request path.  Subclasses that override :meth:`miss`
+        are mapped element-wise and need no further changes.
+        """
+        values = (penalties.tolist() if hasattr(penalties, "tolist")
+                  else list(penalties))
+        if type(self).miss is ServiceTimeModel.miss:
+            return values
+        return [self.miss(p) for p in values]

@@ -106,7 +106,6 @@ class Simulator:
                                                   self._snapshot)
         service = self.service_model
         fill = self.fill_on_miss
-        cache_get = cache.get
         cache_set = cache.set
         record_hit = metrics.record_hit
         record_miss = metrics.record_miss
@@ -131,48 +130,77 @@ class Simulator:
                 "per-request penalty of GET misses", lo=1e-6, growth=1.25,
                 policy=policy)
 
-        # Three loop bodies, selected once: the fault-aware replay when
-        # an injector is attached, otherwise the obs-disabled replay
-        # runs the seed hot loop with zero per-request instrumentation
-        # cost.
+        # Row iteration is columnar: each column converts to a plain
+        # Python list once, the per-row miss cost is precomputed from
+        # the penalties column (identity for the default model, so
+        # bit-identical to calling service.miss per request), and the
+        # loops below unpack scalars straight out of one zip — no
+        # per-request tuple building, no per-miss method call.
         started = time.perf_counter()
+        rows = zip(trace.ops.tolist(), trace.keys.tolist(),
+                   trace.key_sizes.tolist(), trace.value_sizes.tolist(),
+                   trace.penalties.tolist(),
+                   service.miss_array(trace.penalties))
+
+        # Four loop bodies, selected once: the fault-aware replay when
+        # an injector is attached, otherwise the obs-disabled replay
+        # runs the hot loop with zero per-request instrumentation cost
+        # (split again on whether the hit cost is a hoistable constant).
+        cache_lookup = cache.lookup
+        cache_delete = cache.delete
         if self.faults is not None:
-            self._replay_faulty(trace, metrics, service,
+            self._replay_faulty(rows, metrics, service,
                                 hist, hist_hit, hist_miss)
         elif hist is None:
-            for op, key, key_size, value_size, penalty in trace.iter_rows():
-                if op == 0:  # GET
-                    item = cache_get(key, (key_size, value_size, penalty))
-                    if item is not None:
-                        record_hit(service.hit(item.total_size))
-                    else:
-                        record_miss(service.miss(penalty))
-                        if fill:
-                            cache_set(key, key_size, value_size, penalty)
-                elif op == 1:  # SET
-                    cache_set(key, key_size, value_size, penalty)
-                else:  # DELETE
-                    cache.delete(key)
+            if service.bandwidth is None:
+                hit_cost = service.hit_time
+                for op, key, key_size, value_size, penalty, miss_cost in rows:
+                    if op == 0:  # GET
+                        if cache_lookup(key, key_size, value_size,
+                                        penalty) is not None:
+                            record_hit(hit_cost)
+                        else:
+                            record_miss(miss_cost)
+                            if fill:
+                                cache_set(key, key_size, value_size, penalty)
+                    elif op == 1:  # SET
+                        cache_set(key, key_size, value_size, penalty)
+                    else:  # DELETE
+                        cache_delete(key)
+            else:
+                service_hit = service.hit
+                for op, key, key_size, value_size, penalty, miss_cost in rows:
+                    if op == 0:  # GET
+                        item = cache_lookup(key, key_size, value_size, penalty)
+                        if item is not None:
+                            record_hit(service_hit(item.total_size))
+                        else:
+                            record_miss(miss_cost)
+                            if fill:
+                                cache_set(key, key_size, value_size, penalty)
+                    elif op == 1:  # SET
+                        cache_set(key, key_size, value_size, penalty)
+                    else:  # DELETE
+                        cache_delete(key)
         else:
-            for op, key, key_size, value_size, penalty in trace.iter_rows():
+            for op, key, key_size, value_size, penalty, miss_cost in rows:
                 if op == 0:  # GET
-                    item = cache_get(key, (key_size, value_size, penalty))
+                    item = cache_lookup(key, key_size, value_size, penalty)
                     if item is not None:
                         cost = service.hit(item.total_size)
                         record_hit(cost)
                         hist.record(cost)
                         hist_hit.record(cost)
                     else:
-                        cost = service.miss(penalty)
-                        record_miss(cost)
-                        hist.record(cost)
-                        hist_miss.record(cost)
+                        record_miss(miss_cost)
+                        hist.record(miss_cost)
+                        hist_miss.record(miss_cost)
                         if fill:
                             cache_set(key, key_size, value_size, penalty)
                 elif op == 1:  # SET
                     cache_set(key, key_size, value_size, penalty)
                 else:  # DELETE
-                    cache.delete(key)
+                    cache_delete(key)
         elapsed = time.perf_counter() - started
         metrics.flush()
 
@@ -194,10 +222,10 @@ class Simulator:
                             if hist_miss is not None else {}),
         )
 
-    def _replay_faulty(self, trace: Trace, metrics: MetricsCollector,
+    def _replay_faulty(self, rows, metrics: MetricsCollector,
                        service: ServiceTimeModel,
                        hist, hist_hit, hist_miss) -> None:
-        """The fault-aware replay loop.
+        """The fault-aware replay loop over pre-zipped columnar rows.
 
         Per request: advance the injector's tick, run the op (a
         fault-aware cluster accumulates routed-op latency on the
@@ -214,14 +242,14 @@ class Simulator:
         cfg = inj.resilience
         cache = self.cache
         fill = self.fill_on_miss
-        cache_get = cache.get
+        cache_lookup = cache.lookup
         cache_set = cache.set
         record_hit = metrics.record_hit
         record_miss = metrics.record_miss
-        for op, key, key_size, value_size, penalty in trace.iter_rows():
+        for op, key, key_size, value_size, penalty, miss_cost in rows:
             tick = inj.advance()
             if op == 0:  # GET
-                item = cache_get(key, (key_size, value_size, penalty))
+                item = cache_lookup(key, key_size, value_size, penalty)
                 extra = inj.consume_latency()
                 if item is not None:
                     cost = service.hit(item.total_size) + extra
@@ -247,7 +275,7 @@ class Simulator:
                         mult = plan.backend_multiplier(tick)
                         if mult != 1.0:
                             inj.count("backend_spiked")
-                        cost = extra + service.miss(penalty) * mult
+                        cost = extra + miss_cost * mult
                     record_miss(cost)
                     if hist is not None:
                         hist.record(cost)

@@ -1,0 +1,88 @@
+"""Differential pin: the optimized replay engine vs the seed engine.
+
+The hash-once / allocation-free overhaul (hash pair threaded through the
+policy callbacks, scalar ``SlabCache.lookup``, columnar replay loop with
+a precomputed miss-cost array) must not change *any* simulation output.
+The constants below were produced by the pre-optimization engine on a
+mixed GET/SET/DELETE trace and are asserted exactly (``==``, not
+approx): every float must match bit-for-bit, every counter must match
+to the unit.  The exact-tracker configurations cover the full PAMA
+machinery (segment tracker, ghost lists, value accumulators, slab
+migration) plus the memcached baseline.
+"""
+
+import random
+
+import numpy as np
+
+from repro.cache import SizeClassConfig, SlabCache
+from repro.policies import make_policy
+from repro.sim.simulator import simulate
+from repro.traces.record import Trace
+
+#: policy -> (total_gets, hit_ratio, avg_service_time, evictions,
+#: migrations) as produced by the seed replay engine on mixed_trace().
+SEED_RESULTS = {
+    "memcached": (31968, 0.7724286786786787, 0.09354627439945866, 4608, 0),
+    "pre-pama": (31968, 0.8480668168168168, 0.06371160848345903, 1318, 20),
+    "pama": (31968, 0.7140890890890891, 0.11643821321329532, 7091, 5289),
+}
+
+KWARGS = {"pama": {"value_window": 10_000},
+          "pre-pama": {"value_window": 10_000}}
+
+
+def mixed_trace(n=40_000, seed=1234):
+    """Mixed GET/SET/DELETE trace — must stay byte-identical forever.
+
+    80% GET / 15% SET / 5% DELETE over 3000 keys, five value sizes and
+    five penalty levels; any change to the construction invalidates the
+    pinned constants above.
+    """
+    rng = random.Random(seed)
+    ops, keys, ks, vs, pens = [], [], [], [], []
+    sizes = (48, 150, 700, 2600, 9000)
+    penalties = (0.0004, 0.004, 0.04, 0.4, 1.6)
+    for _ in range(n):
+        r = rng.random()
+        op = 0 if r < 0.80 else (1 if r < 0.95 else 2)
+        ops.append(op)
+        keys.append(rng.randrange(3000))
+        ks.append(16)
+        vs.append(rng.choice(sizes))
+        pens.append(rng.choice(penalties))
+    return Trace(np.array(ops, dtype=np.uint8),
+                 np.array(keys, dtype=np.int64),
+                 np.array(ks, dtype=np.int32),
+                 np.array(vs, dtype=np.int32),
+                 np.array(pens, dtype=np.float64),
+                 meta={"name": "mixed"})
+
+
+class TestReplayDifferential:
+    def _run(self, policy):
+        cache = SlabCache(8 << 20,
+                          make_policy(policy, **KWARGS.get(policy, {})),
+                          SizeClassConfig(slab_size=64 << 10))
+        return simulate(mixed_trace(), cache, window_gets=10_000)
+
+    def test_memcached_bit_identical_to_seed(self):
+        self._check("memcached")
+
+    def test_pre_pama_bit_identical_to_seed(self):
+        self._check("pre-pama")
+
+    def test_pama_bit_identical_to_seed(self):
+        self._check("pama")
+
+    def _check(self, policy):
+        result = self._run(policy)
+        gets, hit_ratio, avg_service, evictions, migrations = \
+            SEED_RESULTS[policy]
+        assert result.total_gets == gets
+        # exact equality on purpose: the optimization must not perturb a
+        # single float operation, let alone a hit/miss decision.
+        assert result.hit_ratio == hit_ratio
+        assert result.avg_service_time == avg_service
+        assert result.cache_stats["evictions"] == evictions
+        assert result.cache_stats["migrations"] == migrations
