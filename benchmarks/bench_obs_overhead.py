@@ -79,6 +79,13 @@ def _instrumented_replay(trace, enabled: bool) -> float:
             obs.disable()
 
 
+def _timeline_replay(trace) -> float:
+    """Replay with a TimelineRecorder attached (obs otherwise off)."""
+    sim = Simulator(_fresh_cache(), ServiceTimeModel(), window_gets=WINDOW,
+                    timeline=obs.TimelineRecorder(stride=WINDOW))
+    return sim.run(trace).elapsed_seconds
+
+
 def measure(trace, rounds: int = ROUNDS) -> dict[str, float]:
     """Alternating-order best-of-N timings per variant.
 
@@ -88,7 +95,8 @@ def measure(trace, rounds: int = ROUNDS) -> dict[str, float]:
     best: dict[str, float] = {}
     runners = [("reference", lambda: _reference_replay(trace)),
                ("disabled", lambda: _instrumented_replay(trace, False)),
-               ("enabled", lambda: _instrumented_replay(trace, True))]
+               ("enabled", lambda: _instrumented_replay(trace, True)),
+               ("timeline", lambda: _timeline_replay(trace))]
     for round_idx in range(rounds):
         ordered = runners if round_idx % 2 == 0 else runners[::-1]
         for name, runner in ordered:
@@ -103,11 +111,14 @@ def bench_obs_disabled_overhead():
     times = measure(trace)
     overhead = times["disabled"] / times["reference"] - 1.0
     enabled_overhead = times["enabled"] / times["reference"] - 1.0
+    timeline_overhead = times["timeline"] / times["reference"] - 1.0
     print(f"\nreference (uninstrumented): {times['reference'] * 1e3:8.1f} ms")
     print(f"obs disabled:               {times['disabled'] * 1e3:8.1f} ms "
           f"({overhead:+.2%})")
     print(f"obs enabled:                {times['enabled'] * 1e3:8.1f} ms "
           f"({enabled_overhead:+.2%})")
+    print(f"timeline attached:          {times['timeline'] * 1e3:8.1f} ms "
+          f"({timeline_overhead:+.2%})")
     assert overhead < MAX_DISABLED_OVERHEAD, (
         f"obs-disabled overhead {overhead:.2%} exceeds "
         f"{MAX_DISABLED_OVERHEAD:.0%}")

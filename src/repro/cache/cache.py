@@ -69,6 +69,8 @@ class SlabCache:
         #: every instrumentation point is a single attribute check.
         self.obs = None
         self.events = None
+        #: optional TimelineRecorder; eviction/migration notes go to it.
+        self.timeline = None
         if _obs.is_enabled():
             self.attach_obs(_obs.get_registry(), _obs.get_event_trace())
         policy.attach(self)
@@ -98,6 +100,18 @@ class SlabCache:
             "cache_migrations_total", "slab migrations between queues")
         self._c_expired = counter(
             "cache_expired_total", "items dropped at expiry")
+
+    def attach_timeline(self, timeline) -> None:
+        """Attach a :class:`repro.obs.timeline.TimelineRecorder`.
+
+        The cache only pushes cold-path notes (evictions, migrations);
+        per-request window accounting stays with the replay loop that
+        owns the global tick.
+        """
+        self.timeline = timeline
+        if timeline.snapshot_fn is None:
+            timeline.snapshot_fn = lambda: (self.class_slab_distribution(),
+                                            self.slab_distribution())
 
     def update_obs_gauges(self) -> None:
         """Refresh point-in-time gauges (called on stats/export, not in
@@ -375,6 +389,8 @@ class SlabCache:
         self.stats.evictions += 1
         if self.obs is not None:
             self._c_evictions.inc()
+        if self.timeline is not None:
+            self.timeline.note_eviction()
         if self.events is not None:
             self.events.record("eviction", self.accesses, queue=queue.qid,
                                key=victim.key, penalty=victim.penalty,
@@ -403,6 +419,8 @@ class SlabCache:
         self.stats.migrations += 1
         if self.obs is not None:
             self._c_migrations.inc()
+        if self.timeline is not None:
+            self.timeline.note_migration()
         if self.events is not None:
             self.events.record("slab_migration", self.accesses,
                                donor=donor.qid, receiver=receiver.qid,

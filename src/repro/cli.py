@@ -6,6 +6,12 @@ Subcommands:
 * ``analyze``  — print trace statistics (the Fig 1 table)
 * ``simulate`` — replay a trace/workload under one policy
 * ``compare``  — replay under several policies and rank them
+* ``cluster``  — replay against multi-node clusters
+* ``obs``      — observability snapshots (dump/diff)
+* ``chaos``    — run a named fault scenario (optionally with a
+  ``--dump-dir`` timeline + span dump)
+* ``report``   — render a dump directory as self-contained HTML
+* ``profile``  — cProfile a replay
 * ``serve``    — run the memcached-protocol server
 """
 
@@ -201,8 +207,10 @@ def cmd_obs(args) -> int:
                               hit_time=args.hit_time,
                               window_gets=args.window)
         cache = spec.build_cache(args.policy)
+        timeline = (obs.TimelineRecorder(stride=args.window)
+                    if args.dump_dir else None)
         sim = Simulator(cache, ServiceTimeModel(hit_time=args.hit_time),
-                        window_gets=args.window)
+                        window_gets=args.window, timeline=timeline)
         result = sim.run(trace)
         cache.update_obs_gauges()
         meta = {"policy": args.policy, "requests": len(trace),
@@ -210,6 +218,12 @@ def cmd_obs(args) -> int:
                 "hit_ratio": result.hit_ratio,
                 "avg_service_time": result.avg_service_time}
         events = obs.get_event_trace()
+        if args.dump_dir:
+            written = obs.write_dump(args.dump_dir, meta=meta,
+                                     registry=registry, events=events,
+                                     timeline=timeline)
+            print(f"wrote dump directory {args.dump_dir} "
+                  f"({len(written)} files)", file=sys.stderr)
 
         outputs: list[tuple[str, str]] = []  # (suffix, content)
         if args.format in ("json", "both"):
@@ -256,21 +270,55 @@ def cmd_chaos(args) -> int:
             return 2
     trace = _trace_from_args(args)
     resilience = ResilienceConfig(serve_stale=not args.no_stale)
-    registry = obs.Registry() if args.obs_out else None
-    events = obs.EventTrace() if args.obs_out else None
+    want_obs = bool(args.obs_out or args.dump_dir)
+    registry = obs.Registry() if want_obs else None
+    events = obs.EventTrace() if want_obs else None
+    timeline = (obs.TimelineRecorder(stride=args.window)
+                if args.dump_dir else None)
+    tracer = None
+    if args.dump_dir:
+        # Default sampling spreads the retained traces across the whole
+        # run (capacity/len uniform draws) instead of tracing every tick
+        # and keeping only the final `capacity` — the fault windows in
+        # the middle of a scenario are the traces worth keeping.
+        sample = args.trace_sample
+        if sample is None:
+            sample = min(1.0, args.trace_capacity / max(len(trace), 1))
+        tracer = obs.SpanTracer(sample=sample, seed=args.fault_seed,
+                                capacity=args.trace_capacity)
     report = run_scenario(
         args.scenario, trace, policies=policies, node_count=args.nodes,
         capacity_bytes=parse_size(args.cache_size) // max(args.nodes, 1),
         slab_size=parse_size(args.slab_size), hit_time=args.hit_time,
         window_gets=args.window, seed=args.fault_seed,
-        resilience=resilience, obs_registry=registry, obs_events=events)
+        resilience=resilience, obs_registry=registry, obs_events=events,
+        timeline=timeline, tracing=tracer)
     print(report.format())
+    meta = {"scenario": args.scenario, "fault_seed": args.fault_seed,
+            "policies": policies, "nodes": args.nodes,
+            "requests": len(trace)}
     if args.obs_out:
-        meta = {"scenario": args.scenario, "fault_seed": args.fault_seed,
-                "policies": policies, "nodes": args.nodes}
         with open(args.obs_out, "w") as fh:
             fh.write(obs.to_json(registry, events=events, meta=meta))
         print(f"wrote obs snapshot to {args.obs_out}", file=sys.stderr)
+    if args.dump_dir:
+        written = obs.write_dump(args.dump_dir, meta=meta,
+                                 registry=registry, events=events,
+                                 timeline=timeline, tracer=tracer)
+        print(f"wrote dump directory {args.dump_dir} "
+              f"({len(written)} files)", file=sys.stderr)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.obs.report import render_report
+
+    try:
+        render_report(args.dump_dir, args.out, title=args.title)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"report: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.out}", file=sys.stderr)
     return 0
 
 
@@ -390,6 +438,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="event ring-buffer capacity")
     od.add_argument("--out", help="output path (prefix with --format both); "
                                   "default prints to stdout")
+    od.add_argument("--dump-dir",
+                    help="also record a windowed timeline and write a "
+                         "report-renderable dump directory here")
     od.set_defaults(func=cmd_obs)
     of = osubs.add_parser("diff", help="delta between two JSON snapshots")
     of.add_argument("old")
@@ -417,7 +468,25 @@ def build_parser() -> argparse.ArgumentParser:
     x.add_argument("--obs-out",
                    help="also write the faulted runs' obs registry "
                         "(fault/retry/breaker counters) as JSON")
+    x.add_argument("--dump-dir",
+                   help="record a timeline + span traces for the first "
+                        "policy's faulted run; write a dump directory "
+                        "`repro-kv report` can render")
+    x.add_argument("--trace-sample", type=float, default=None,
+                   help="fraction of ticks span-traced (deterministic in "
+                        "--fault-seed); default spreads --trace-capacity "
+                        "traces across the run")
+    x.add_argument("--trace-capacity", type=int, default=1024,
+                   help="finished span traces retained (oldest drop off)")
     x.set_defaults(func=cmd_chaos)
+
+    r = subs.add_parser(
+        "report",
+        help="render a dump directory as a self-contained HTML report")
+    r.add_argument("dump_dir", help="directory written by --dump-dir")
+    r.add_argument("--out", default="report.html", help="output HTML path")
+    r.add_argument("--title", help="report title")
+    r.set_defaults(func=cmd_report)
 
     pr = subs.add_parser(
         "profile",

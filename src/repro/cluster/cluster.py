@@ -42,13 +42,19 @@ class CacheCluster:
             per-op timeouts, bounded retries with backoff, a per-node
             circuit breaker, and ring-successor failover.  When None
             (the default) ops take the exact pre-fault code path.
+        tracing: optional :class:`~repro.obs.spans.SpanTracer`.  Sampled
+            ops through the resilient path emit a trace tree: a root
+            span per op with a ``node_attempt`` child per candidate
+            node, carrying retry/drop/timeout/breaker events — the
+            replayable waterfall of where a request went and why.
     """
 
     def __init__(self, node_names: list[str], capacity_bytes: int,
                  policy_factory: Callable[[], AllocationPolicy],
                  size_classes: SizeClassConfig | None = None,
                  replicas: int = 64,
-                 faults: FaultInjector | None = None) -> None:
+                 faults: FaultInjector | None = None,
+                 tracing=None) -> None:
         if not node_names:
             raise ValueError("cluster needs at least one node")
         if len(set(node_names)) != len(node_names):
@@ -59,6 +65,7 @@ class CacheCluster:
         self.ring = ConsistentHashRing(replicas=replicas)
         self.nodes: dict[str, SlabCache] = {}
         self.faults = faults
+        self.tracer = tracing
         self.breakers: dict[str, CircuitBreaker] = {}
         self._down_seen: set[str] = set()
         for name in node_names:
@@ -83,6 +90,9 @@ class CacheCluster:
                           _name: str = name) -> None:
             inj.count(f"breaker_{new.replace('-', '_')}")
             inj.event("breaker_transition", node=_name, old=old, new=new)
+            if self.tracer is not None:
+                self.tracer.event("breaker_transition", tick, node=_name,
+                                  old=old, new=new)
 
         return CircuitBreaker(failure_threshold=cfg.breaker_threshold,
                               reset_ticks=cfg.breaker_reset_ticks,
@@ -115,6 +125,16 @@ class CacheCluster:
         self.breakers.pop(name, None)
         self._down_seen.discard(name)
 
+    def attach_timeline(self, timeline) -> None:
+        """Attach one :class:`~repro.obs.timeline.TimelineRecorder` to
+        every node (cluster-wide flux notes, cluster-wide slab
+        snapshots).  A node spawned later via :meth:`add_node` is *not*
+        auto-attached; re-call after topology changes."""
+        timeline.snapshot_fn = lambda: (self.class_slab_distribution(),
+                                        self.slab_distribution())
+        for node in self.nodes.values():
+            node.attach_timeline(timeline)
+
     def node_names(self) -> list[str]:
         return sorted(self.nodes)
 
@@ -127,7 +147,8 @@ class CacheCluster:
         if self.faults is None:
             return self.node_for(key).get(key, miss_info)
         return self._routed(key,
-                            lambda node: node.get(key, miss_info), None)
+                            lambda node: node.get(key, miss_info), None,
+                            "get")
 
     def lookup(self, key: object, key_size: int, value_size: int,
                penalty: float) -> Item | None:
@@ -137,7 +158,7 @@ class CacheCluster:
                                              penalty)
         return self._routed(
             key, lambda node: node.lookup(key, key_size, value_size, penalty),
-            None)
+            None, "get")
 
     def set(self, key: object, key_size: int, value_size: int,
             penalty: float, value: object = None) -> bool:
@@ -146,12 +167,13 @@ class CacheCluster:
                                           value)
         return self._routed(
             key, lambda node: node.set(key, key_size, value_size, penalty,
-                                       value), False)
+                                       value), False, "set")
 
     def delete(self, key: object) -> bool:
         if self.faults is None:
             return self.node_for(key).delete(key)
-        return self._routed(key, lambda node: node.delete(key), False)
+        return self._routed(key, lambda node: node.delete(key), False,
+                            "delete")
 
     # -- resilient routing ----------------------------------------------------
     def _sync_restart(self, name: str, tick: int) -> None:
@@ -168,7 +190,7 @@ class CacheCluster:
             inj.count("node_rejoin")
             inj.event("node_rejoin", node=name)
 
-    def _routed(self, key: object, op, default):
+    def _routed(self, key: object, op, default, op_name: str = "op"):
         """One op through the resilient path.
 
         Walks the ring-successor preference list; per candidate node:
@@ -179,6 +201,11 @@ class CacheCluster:
         latency lands on the injector's latency channel; when every
         candidate fails the op degrades to ``default`` (a miss / failed
         set) rather than raising.
+
+        When a tracer is attached and samples this tick, the walk is
+        recorded as a span tree (root op span, one ``node_attempt``
+        child per candidate); a trace already opened by the caller (the
+        replay loop) is nested into instead.
         """
         inj = self.faults
         cfg = inj.resilience
@@ -188,47 +215,81 @@ class CacheCluster:
         candidates = self.ring.successors(key)
         if not cfg.failover:
             candidates = candidates[:1]
+        tracer = self.tracer
+        root = None
+        if tracer is not None:
+            if tracer.active:
+                root = tracer.start(op_name, tick, key=str(key))
+            elif tracer.sampled(tick):
+                root = tracer.start_trace(tick, op_name, key=str(key))
         for rank, name in enumerate(candidates):
             if rank:
                 inj.count("failovers")
+            node_span = None
+            if root is not None:
+                node_span = tracer.start("node_attempt", tick, node=name,
+                                         rank=rank, failover=bool(rank))
             breaker = self.breakers[name]
             if not breaker.allow(tick):
                 inj.count("breaker_rejected")
+                if node_span is not None:
+                    tracer.end(node_span, tick, status="breaker_rejected")
                 continue
             self._sync_restart(name, tick)
             if plan.node_down(name, tick):
                 latency += cfg.op_timeout
                 inj.count("node_down")
                 breaker.record_failure(tick)
+                if node_span is not None:
+                    tracer.end(node_span, tick, status="node_down")
                 continue
             # hash_key, not hash(): str hashing is salted per process
             # and would break cross-run fault determinism.
             name_hash = hash_key(name)
+            failed = True
             for attempt in range(1 + cfg.max_retries):
                 if attempt:
                     inj.count("retries")
                     latency += cfg.backoff(
                         attempt, plan.jitter(tick, name_hash, attempt))
+                    if node_span is not None:
+                        node_span.add_event("retry", tick, attempt=attempt)
                 if plan.conn_dropped(name, tick, attempt):
                     inj.count("conn_drop")
                     breaker.record_failure(tick)
+                    if node_span is not None:
+                        node_span.add_event("conn_drop", tick,
+                                            attempt=attempt)
                     continue
                 extra = plan.slow_extra(name, tick)
                 if cfg.op_timeout and extra >= cfg.op_timeout:
                     latency += cfg.op_timeout
                     inj.count("op_timeout")
                     breaker.record_failure(tick)
+                    if node_span is not None:
+                        node_span.add_event("op_timeout", tick,
+                                            attempt=attempt, extra=extra)
                     continue
                 if extra:
                     latency += extra
                     inj.count("slow_op")
+                    if node_span is not None:
+                        node_span.add_event("slow_op", tick, extra=extra)
                 result = op(self.nodes[name])
                 breaker.record_success(tick)
                 inj.add_latency(latency)
+                failed = False
+                if node_span is not None:
+                    tracer.end(node_span, tick, status="ok")
+                    tracer.end(root, tick, status="ok", latency=latency)
                 return result
+            if failed and node_span is not None:
+                tracer.end(node_span, tick, status="failed")
         inj.add_latency(latency)
         inj.count("op_failed")
         inj.event("op_failed", key=key)
+        if root is not None:
+            tracer.end(root, tick, status="failed", latency=latency)
         return default
 
     @property

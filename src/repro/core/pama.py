@@ -146,6 +146,9 @@ class PamaPolicy(AllocationPolicy):
         # Use the penalty remembered at eviction time — "PAMA uses actual
         # miss penalties associated with each slab".
         state.values.add_incoming(entry.seg, self._contribution(entry.penalty))
+        timeline = self.cache.timeline
+        if timeline is not None:
+            timeline.note_ghost_hit()
         events = self.cache.events
         if events is not None:
             events.record("ghost_hit", self.cache.accesses, key=key,
@@ -238,6 +241,9 @@ class PamaPolicy(AllocationPolicy):
     def _record_decision(self, queue: Queue, donor: Queue, incoming: float,
                          min_out: float, outcome: str) -> None:
         """Trace one migration decision with the values that drove it."""
+        timeline = self.cache.timeline
+        if timeline is not None:
+            timeline.note_decision(incoming, min_out, outcome)
         events = self.cache.events
         if events is not None:
             events.record("pama_decision", self.cache.accesses,

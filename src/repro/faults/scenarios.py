@@ -199,13 +199,20 @@ def run_scenario(name: str, trace, *, policies: list[str],
                  resilience: ResilienceConfig | None = None,
                  policy_kwargs: dict | None = None,
                  obs_registry: Registry | None = None,
-                 obs_events=None) -> ChaosReport:
+                 obs_events=None, timeline=None, tracing=None,
+                 instrument: str | None = None) -> ChaosReport:
     """Replay ``trace`` per policy with and without scenario ``name``.
 
     Both runs use identically configured clusters (``node_count`` nodes
     of ``capacity_bytes`` each); per-run obs registries supply the p99
     estimates.  When ``obs_registry`` is given the *faulted* runs mirror
     their fault counters and events into it (the ``obs dump`` surface).
+
+    ``timeline``/``tracing`` attach a
+    :class:`~repro.obs.timeline.TimelineRecorder` and a
+    :class:`~repro.obs.spans.SpanTracer` to the *faulted* run of one
+    policy — ``instrument`` (default: the first of ``policies``) — so
+    the dump a report renders covers a single coherent run.
 
     Deterministic end to end: same (trace, scenario, seed) → same
     report, run after run.
@@ -218,15 +225,20 @@ def run_scenario(name: str, trace, *, policies: list[str],
     classes = SizeClassConfig(slab_size=slab_size)
     if policy_kwargs is None:
         policy_kwargs = default_policy_kwargs(window_gets, node_count)
+    if instrument is None and policies:
+        instrument = policies[0]
     outcomes: dict[str, PolicyOutcome] = {}
     for policy in policies:
         kwargs = dict(policy_kwargs.get(policy, {}))
+        instrumented = policy == instrument
 
         def cluster(faults: FaultInjector | None, policy: str = policy,
-                    kwargs: dict = kwargs) -> CacheCluster:
+                    kwargs: dict = kwargs,
+                    tracer=None) -> CacheCluster:
             return CacheCluster(nodes, capacity_bytes,
                                 lambda: make_policy(policy, **kwargs),
-                                size_classes=classes, faults=faults)
+                                size_classes=classes, faults=faults,
+                                tracing=tracer)
 
         baseline = simulate(trace, cluster(None), hit_time=hit_time,
                             window_gets=window_gets, obs=Registry())
@@ -234,9 +246,12 @@ def run_scenario(name: str, trace, *, policies: list[str],
                             obs=obs_registry
                             if obs_registry is not None else Registry(),
                             events=obs_events)
-        faulted = simulate(trace, cluster(inj), hit_time=hit_time,
-                           window_gets=window_gets, faults=inj,
-                           obs=inj.obs)
+        faulted = simulate(
+            trace, cluster(inj, tracer=tracing if instrumented else None),
+            hit_time=hit_time, window_gets=window_gets, faults=inj,
+            obs=inj.obs,
+            timeline=timeline if instrumented else None,
+            tracing=tracing if instrumented else None)
         outcomes[policy] = PolicyOutcome(
             policy=policy, baseline=baseline, faulted=faulted,
             counters=dict(inj.counters), degraded_time=inj.degraded_time)

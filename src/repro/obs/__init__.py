@@ -31,12 +31,21 @@ from repro.obs.events import Event, EventTrace
 from repro.obs.export import (diff_snapshots, flat_items, format_diff,
                               snapshot, to_json, to_prometheus)
 from repro.obs.registry import Counter, Gauge, Histogram, Registry
+from repro.obs.report import (load_dump, render_html, render_report,
+                              validate_dump, write_dump)
+from repro.obs.spans import Span, SpanTracer, format_waterfall
+from repro.obs.timeline import (CsvSink, JsonlSink, TimelineRecorder,
+                                open_sink)
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Registry",
     "Event", "EventTrace",
     "snapshot", "to_json", "to_prometheus", "flat_items",
     "diff_snapshots", "format_diff",
+    "TimelineRecorder", "JsonlSink", "CsvSink", "open_sink",
+    "Span", "SpanTracer", "format_waterfall",
+    "write_dump", "load_dump", "validate_dump", "render_html",
+    "render_report",
     "enable", "disable", "is_enabled", "get_registry", "get_event_trace",
 ]
 

@@ -27,7 +27,16 @@ class Event:
         self.data = data
 
     def as_dict(self) -> dict:
-        return {"kind": self.kind, "tick": self.tick, **self.data}
+        """Flat dict form: ``kind``/``tick`` plus the payload.
+
+        Payload keys named ``kind`` or ``tick`` would silently overwrite
+        the event's own fields, so they are namespaced to ``data_kind``
+        / ``data_tick`` instead of colliding.
+        """
+        out = {"kind": self.kind, "tick": self.tick}
+        for key, value in self.data.items():
+            out["data_" + key if key in ("kind", "tick") else key] = value
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         fields = " ".join(f"{k}={v!r}" for k, v in self.data.items())
@@ -44,7 +53,7 @@ class EventTrace:
         self.recorded = 0
         self._buf: deque[Event] = deque(maxlen=capacity)
 
-    def record(self, kind: str, tick: int, **data) -> None:
+    def record(self, kind: str, tick: int, /, **data) -> None:
         self.recorded += 1
         self._buf.append(Event(kind, tick, data))
 

@@ -70,8 +70,17 @@ def to_json(registry: Registry, events: EventTrace | None = None,
 
 
 def _escape_label(value: str) -> str:
+    """Escape a label value per the exposition format: backslash first
+    (or the other escapes would double up), then quote and newline."""
     return (value.replace("\\", r"\\").replace('"', r'\"')
             .replace("\n", r"\n"))
+
+
+def _escape_help(text: str) -> str:
+    """Escape ``# HELP`` text: the format allows any UTF-8 but requires
+    ``\\`` and line feeds to be escaped (a raw newline would be parsed
+    as the start of the next exposition line)."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _prom_labels(labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
@@ -98,7 +107,7 @@ def to_prometheus(registry: Registry) -> str:
         if m.name not in seen_headers:
             seen_headers.add(m.name)
             if m.help:
-                lines.append(f"# HELP {m.name} {m.help}")
+                lines.append(f"# HELP {m.name} {_escape_help(m.help)}")
             lines.append(f"# TYPE {m.name} {m.kind}")
         if isinstance(m, (Counter, Gauge)):
             lines.append(f"{m.name}{_prom_labels(m.labels)} {_fmt(m.value)}")
@@ -139,34 +148,86 @@ def flat_items(registry: Registry,
     return out
 
 
-def diff_snapshots(old: dict, new: dict) -> dict[str, float]:
-    """Per-metric deltas between two snapshot dicts (new - old).
+class SnapshotDiff(dict):
+    """Per-metric deltas plus the irregular cases a naive ``new - old``
+    gets wrong.
+
+    The mapping itself holds the numeric deltas of metrics present on
+    *both* sides with a sane difference; three side tables classify the
+    rest instead of raising or emitting misleading negatives:
+
+    * ``added`` — metric only in the new snapshot (value shown as-is);
+    * ``removed`` — metric only in the old snapshot (its last value);
+    * ``resets`` — a monotone series (counter, histogram count/sum)
+      went *down*, i.e. the process restarted between snapshots; the
+      new value is reported as the restart baseline.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.added: dict[str, float] = {}
+        self.removed: dict[str, float] = {}
+        self.resets: dict[str, float] = {}
+
+
+def _flatten_kinds(doc: dict) -> dict[str, tuple[float, bool]]:
+    """Flat ``key -> (value, monotone)`` view of one snapshot dict."""
+    flat: dict[str, tuple[float, bool]] = {}
+    for entry in doc.get("counters", []):
+        flat[entry["name"] + _label_suffix(
+            tuple(sorted(entry["labels"].items())))] = (entry["value"], True)
+    for entry in doc.get("gauges", []):
+        flat[entry["name"] + _label_suffix(
+            tuple(sorted(entry["labels"].items())))] = (entry["value"], False)
+    for entry in doc.get("histograms", []):
+        key = entry["name"] + _label_suffix(
+            tuple(sorted(entry["labels"].items())))
+        flat[key + "_count"] = (entry["count"], True)
+        flat[key + "_sum"] = (entry["sum"], True)
+    return flat
+
+
+def diff_snapshots(old: dict, new: dict) -> SnapshotDiff:
+    """Classify per-metric changes between two snapshot dicts.
 
     Counters and histogram count/sum diff numerically; gauges report
-    their new value minus the old.  Metrics absent from ``old`` diff
-    against zero.
+    their new value minus the old (negative gauge deltas are normal).
+    Metrics present on only one side land in ``added``/``removed``,
+    and a monotone series that went down is a ``reset`` — never a
+    negative delta.
     """
-    def flatten(doc: dict) -> dict[str, float]:
-        flat: dict[str, float] = {}
-        for entry in doc.get("counters", []) + doc.get("gauges", []):
-            flat[entry["name"] + _label_suffix(
-                tuple(sorted(entry["labels"].items())))] = entry["value"]
-        for entry in doc.get("histograms", []):
-            key = entry["name"] + _label_suffix(
-                tuple(sorted(entry["labels"].items())))
-            flat[key + "_count"] = entry["count"]
-            flat[key + "_sum"] = entry["sum"]
-        return flat
-
-    old_flat, new_flat = flatten(old), flatten(new)
-    return {key: value - old_flat.get(key, 0.0)
-            for key, value in sorted(new_flat.items())}
+    old_flat, new_flat = _flatten_kinds(old), _flatten_kinds(new)
+    diff = SnapshotDiff()
+    for key, (value, monotone) in sorted(new_flat.items()):
+        if key not in old_flat:
+            diff.added[key] = value
+            continue
+        delta = value - old_flat[key][0]
+        if monotone and delta < 0:
+            diff.resets[key] = value
+        else:
+            diff[key] = delta
+    for key, (value, _monotone) in sorted(old_flat.items()):
+        if key not in new_flat:
+            diff.removed[key] = value
+    return diff
 
 
 def format_diff(deltas: dict[str, float], skip_zero: bool = True) -> str:
-    """Render a :func:`diff_snapshots` result as an aligned table."""
-    rows = [(k, v) for k, v in deltas.items() if v or not skip_zero]
+    """Render a :func:`diff_snapshots` result as an aligned table.
+
+    Accepts any ``{key: delta}`` mapping; when given a
+    :class:`SnapshotDiff` the added/removed/reset sections follow the
+    delta table.
+    """
+    rows: list[tuple[str, str]] = [
+        (k, f"{v:+g}") for k, v in deltas.items() if v or not skip_zero]
+    if isinstance(deltas, SnapshotDiff):
+        rows += [(k, f"added ({v:g})") for k, v in deltas.added.items()]
+        rows += [(k, f"removed (was {v:g})")
+                 for k, v in deltas.removed.items()]
+        rows += [(k, f"reset (now {v:g})") for k, v in deltas.resets.items()]
     if not rows:
         return "(no change)"
     width = max(len(k) for k, _ in rows)
-    return "\n".join(f"{k:<{width}}  {v:+g}" for k, v in rows)
+    return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)

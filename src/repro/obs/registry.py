@@ -103,6 +103,18 @@ class Histogram:
             self.max = value
         self.counts[bisect_left(self.bounds, value)] += 1
 
+    def reset(self) -> None:
+        """Zero every bucket and aggregate (bounds stay as configured).
+
+        Windowed consumers (the timeline recorder) reuse one histogram
+        per window instead of allocating a fresh bucket array each time.
+        """
+        self.counts = [0] * len(self.counts)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0

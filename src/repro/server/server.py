@@ -79,8 +79,16 @@ class CacheRequestHandler(socketserver.StreamRequestHandler):
                 except OSError:  # pragma: no cover - write raced close
                     pass
                 return
-            self.server.latency_histogram(_verb_of(cmd)).record(
-                time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            self.server.latency_histogram(_verb_of(cmd)).record(elapsed)
+            tracer = self.server.tracer
+            if tracer is not None:
+                # One tick per completed command; record_single is the
+                # thread-safe path (one deque append under the GIL).
+                tick = self.server.cache.accesses
+                if tracer.sampled(tick):
+                    tracer.record_single(_verb_of(cmd), tick, tick,
+                                         duration_s=elapsed)
             if not keep_going:
                 return
 
@@ -241,9 +249,13 @@ class CacheServer(socketserver.ThreadingTCPServer):
 
     def __init__(self, address: tuple[str, int], cache: SlabCache,
                  registry: Registry | None = None,
-                 events: EventTrace | None = None) -> None:
+                 events: EventTrace | None = None,
+                 tracing=None) -> None:
         super().__init__(address, CacheRequestHandler)
         self.cache = cache
+        #: optional SpanTracer; sampled commands are recorded as
+        #: single-span traces with their wall-clock duration.
+        self.tracer = tracing
         self.lock = threading.Lock()
         # The server always runs instrumented (it is not the simulate
         # hot path); reuse whatever the cache already has attached.
@@ -301,10 +313,10 @@ class CacheServer(socketserver.ThreadingTCPServer):
 
 
 def start_server(cache: SlabCache, host: str = "127.0.0.1",
-                 port: int = 0) -> CacheServer:
+                 port: int = 0, tracing=None) -> CacheServer:
     """Start a server on a background thread; returns it (bound port in
     ``server.port``).  Call ``server.shutdown()`` to stop."""
-    server = CacheServer((host, port), cache)
+    server = CacheServer((host, port), cache, tracing=tracing)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
     return server

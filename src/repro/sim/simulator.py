@@ -73,7 +73,8 @@ class Simulator:
     def __init__(self, cache: SlabCache,
                  service_model: ServiceTimeModel | None = None,
                  window_gets: int = 100_000, fill_on_miss: bool = True,
-                 obs=None, faults=None) -> None:
+                 obs=None, faults=None, timeline=None,
+                 tracing=None) -> None:
         self.cache = cache
         self.service_model = service_model or ServiceTimeModel()
         self.fill_on_miss = fill_on_miss
@@ -86,6 +87,14 @@ class Simulator:
         #: routed-op latency, graceful degradation).  Share the same
         #: injector with the cache when it is a fault-aware cluster.
         self.faults = faults
+        #: optional :class:`~repro.obs.timeline.TimelineRecorder` —
+        #: selects a timeline-aware replay loop; the disabled hot loops
+        #: are untouched (PR-4 throughput contract).
+        self.timeline = timeline
+        #: optional :class:`~repro.obs.spans.SpanTracer` — sampled
+        #: requests in the fault-aware loop open a root "request" span;
+        #: a fault-aware cluster sharing the tracer nests under it.
+        self.tracing = tracing
         # Rebuilt at the top of every run(); kept as an attribute so a
         # run's collector stays inspectable after it returns.
         self.metrics = MetricsCollector(window_gets, self._snapshot)
@@ -105,6 +114,13 @@ class Simulator:
         metrics = self.metrics = MetricsCollector(self.window_gets,
                                                   self._snapshot)
         service = self.service_model
+        timeline = self.timeline
+        if timeline is not None:
+            attach = getattr(cache, "attach_timeline", None)
+            if attach is not None:
+                attach(timeline)
+            elif timeline.snapshot_fn is None:
+                timeline.snapshot_fn = self._snapshot
         fill = self.fill_on_miss
         cache_set = cache.set
         record_hit = metrics.record_hit
@@ -142,15 +158,19 @@ class Simulator:
                    trace.penalties.tolist(),
                    service.miss_array(trace.penalties))
 
-        # Four loop bodies, selected once: the fault-aware replay when
-        # an injector is attached, otherwise the obs-disabled replay
-        # runs the hot loop with zero per-request instrumentation cost
-        # (split again on whether the hit cost is a hoistable constant).
+        # Loop bodies selected once: the fault-aware replay when an
+        # injector is attached, the timeline-aware replay when only a
+        # recorder is, otherwise the obs-disabled replay runs the hot
+        # loop with zero per-request instrumentation cost (split again
+        # on whether the hit cost is a hoistable constant).
         cache_lookup = cache.lookup
         cache_delete = cache.delete
         if self.faults is not None:
             self._replay_faulty(rows, metrics, service,
                                 hist, hist_hit, hist_miss)
+        elif timeline is not None:
+            self._replay_timeline(rows, metrics, service,
+                                  hist, hist_hit, hist_miss, timeline)
         elif hist is None:
             if service.bandwidth is None:
                 hit_cost = service.hit_time
@@ -203,7 +223,8 @@ class Simulator:
                     cache_delete(key)
         elapsed = time.perf_counter() - started
         metrics.flush()
-
+        if timeline is not None:
+            timeline.finish()
 
         return SimulationResult(
             policy=cache.policy.name,
@@ -221,6 +242,51 @@ class Simulator:
             miss_quantiles=(hist_miss.quantiles()
                             if hist_miss is not None else {}),
         )
+
+    def _replay_timeline(self, rows, metrics: MetricsCollector,
+                         service: ServiceTimeModel, hist, hist_hit,
+                         hist_miss, timeline) -> None:
+        """Fault-free replay with a timeline recorder attached.
+
+        One extra ``record_get``/``advance`` call per request relative
+        to the plain loop; the request index is the access tick the
+        windows key on.
+        """
+        cache = self.cache
+        fill = self.fill_on_miss
+        cache_lookup = cache.lookup
+        cache_set = cache.set
+        cache_delete = cache.delete
+        record_hit = metrics.record_hit
+        record_miss = metrics.record_miss
+        record_get = timeline.record_get
+        advance = timeline.advance
+        tick = -1
+        for op, key, key_size, value_size, penalty, miss_cost in rows:
+            tick += 1
+            if op == 0:  # GET
+                item = cache_lookup(key, key_size, value_size, penalty)
+                if item is not None:
+                    cost = service.hit(item.total_size)
+                    record_hit(cost)
+                    record_get(tick, True, cost)
+                    if hist is not None:
+                        hist.record(cost)
+                        hist_hit.record(cost)
+                else:
+                    record_miss(miss_cost)
+                    record_get(tick, False, miss_cost, penalty)
+                    if hist is not None:
+                        hist.record(miss_cost)
+                        hist_miss.record(miss_cost)
+                    if fill:
+                        cache_set(key, key_size, value_size, penalty)
+            elif op == 1:  # SET
+                cache_set(key, key_size, value_size, penalty)
+                advance(tick)
+            else:  # DELETE
+                cache_delete(key)
+                advance(tick)
 
     def _replay_faulty(self, rows, metrics: MetricsCollector,
                        service: ServiceTimeModel,
@@ -246,14 +312,22 @@ class Simulator:
         cache_set = cache.set
         record_hit = metrics.record_hit
         record_miss = metrics.record_miss
+        timeline = self.timeline
+        tracer = self.tracing
         for op, key, key_size, value_size, penalty, miss_cost in rows:
             tick = inj.advance()
+            root = None
+            if tracer is not None and tracer.sampled(tick):
+                root = tracer.start_trace(
+                    tick, ("get", "set", "delete")[op], key=str(key))
             if op == 0:  # GET
                 item = cache_lookup(key, key_size, value_size, penalty)
                 extra = inj.consume_latency()
                 if item is not None:
                     cost = service.hit(item.total_size) + extra
                     record_hit(cost)
+                    if timeline is not None:
+                        timeline.record_get(tick, True, cost)
                     if hist is not None:
                         hist.record(cost)
                         hist_hit.record(cost)
@@ -277,6 +351,8 @@ class Simulator:
                             inj.count("backend_spiked")
                         cost = extra + miss_cost * mult
                     record_miss(cost)
+                    if timeline is not None:
+                        timeline.record_get(tick, False, cost, penalty)
                     if hist is not None:
                         hist.record(cost)
                         hist_miss.record(cost)
@@ -286,17 +362,24 @@ class Simulator:
             elif op == 1:  # SET
                 cache_set(key, key_size, value_size, penalty)
                 inj.consume_latency()
+                if timeline is not None:
+                    timeline.advance(tick)
             else:  # DELETE
                 cache.delete(key)
                 inj.consume_latency()
+                if timeline is not None:
+                    timeline.advance(tick)
+            if root is not None:
+                tracer.end(root, tick)
 
 
 def simulate(trace: Trace, cache: SlabCache, *,
              hit_time: float = 1e-4, window_gets: int = 100_000,
-             fill_on_miss: bool = True, obs=None,
-             faults=None) -> SimulationResult:
+             fill_on_miss: bool = True, obs=None, faults=None,
+             timeline=None, tracing=None) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     sim = Simulator(cache, ServiceTimeModel(hit_time=hit_time),
                     window_gets=window_gets, fill_on_miss=fill_on_miss,
-                    obs=obs, faults=faults)
+                    obs=obs, faults=faults, timeline=timeline,
+                    tracing=tracing)
     return sim.run(trace)

@@ -19,6 +19,20 @@ class TestEventTrace:
         assert ev.as_dict() == {"kind": "eviction", "tick": 10,
                                 "key": "a", "size": 64}
 
+    def test_payload_keys_never_shadow_event_fields(self):
+        # Regression: a payload named "kind" or "tick" used to overwrite
+        # the event's own kind/tick in as_dict().
+        t = EventTrace(capacity=4)
+        t.record("breaker_transition", 7, kind="flaky", tick=999, node="n0")
+        (ev,) = t
+        d = ev.as_dict()
+        assert d["kind"] == "breaker_transition"
+        assert d["tick"] == 7
+        assert d["data_kind"] == "flaky"
+        assert d["data_tick"] == 999
+        assert d["node"] == "n0"
+        assert t.snapshot()[0]["tick"] == 7
+
     def test_ring_drops_oldest(self):
         t = EventTrace(capacity=3)
         for i in range(5):

@@ -64,6 +64,28 @@ class TestPrometheus:
         text = to_prometheus(r)
         assert r'label="va\"l\\ue"' in text
 
+    def test_label_newline_escaped(self):
+        r = Registry()
+        r.counter("c", label="two\nlines").inc()
+        text = to_prometheus(r)
+        assert r'label="two\nlines"' in text
+        # a raw newline inside a label would start a bogus sample line
+        assert all(line.count('"') % 2 == 0 for line in text.splitlines())
+
+    def test_help_text_escaping(self):
+        r = Registry()
+        r.counter("c", help="uses \\ and\nwraps").inc()
+        text = to_prometheus(r)
+        assert r"# HELP c uses \\ and\nwraps" in text.splitlines()
+
+    def test_backslash_escaped_before_other_escapes(self):
+        # A literal backslash-n in a label must not collapse into the
+        # \n escape sequence (ordering bug if quote/newline ran first).
+        r = Registry()
+        r.counter("c", label="a\\nb").inc()
+        text = to_prometheus(r)
+        assert r'label="a\\nb"' in text
+
 
 class TestFlatItems:
     def test_counters_intified_and_histograms_expanded(self):
@@ -96,11 +118,37 @@ class TestDiff:
         assert "cache_gets_total" in rendered
         assert "+7" in rendered
 
-    def test_missing_old_metric_diffs_against_zero(self):
+    def test_one_sided_metrics_reported_not_raised(self):
         r = Registry()
         r.counter("fresh").inc(3)
         deltas = diff_snapshots({"counters": []}, snapshot(r))
-        assert deltas["fresh"] == 3
+        # A new-only metric is "added", not a delta against zero (a
+        # fabricated delta would be indistinguishable from real growth).
+        assert "fresh" not in deltas
+        assert deltas.added["fresh"] == 3
+        old_only = diff_snapshots(snapshot(r), {"counters": []})
+        assert old_only.removed["fresh"] == 3
+        rendered = format_diff(deltas)
+        assert "fresh" in rendered and "added" in rendered
+        assert "removed" in format_diff(old_only)
+
+    def test_counter_reset_reported_not_negative(self):
+        old_r, new_r = Registry(), Registry()
+        old_r.counter("restarts").inc(100)
+        new_r.counter("restarts").inc(2)  # process restarted
+        deltas = diff_snapshots(snapshot(old_r), snapshot(new_r))
+        # A monotone series going down means a restart, not -98.
+        assert "restarts" not in deltas
+        assert deltas.resets["restarts"] == 2
+        assert "reset" in format_diff(deltas)
+
+    def test_gauge_decrease_is_a_plain_delta(self):
+        old_r, new_r = Registry(), Registry()
+        old_r.gauge("items").set(10)
+        new_r.gauge("items").set(4)
+        deltas = diff_snapshots(snapshot(old_r), snapshot(new_r))
+        assert deltas["items"] == -6  # gauges may legitimately fall
+        assert not deltas.resets
 
     def test_format_diff_skips_zero_rows(self):
         assert format_diff({"a": 0.0}) == "(no change)"

@@ -1,0 +1,138 @@
+"""Tests for span tracing: lifecycle, sampling determinism, rendering."""
+
+import pytest
+
+from repro.obs.spans import (SpanTracer, format_waterfall, sample_draw,
+                             span_children)
+
+
+class TestLifecycle:
+    def test_root_and_children_form_a_tree(self):
+        tr = SpanTracer()
+        root = tr.start_trace(5, "get", key="k1")
+        child = tr.start("node_attempt", 5, node="node0")
+        tr.end(child, 6, status="ok")
+        tr.end(root, 7, status="ok", latency=0.1)
+        (spans,) = tr.traces()
+        assert [s.name for s in spans] == ["get", "node_attempt"]
+        assert spans[1].parent_id == spans[0].span_id
+        assert spans[0].parent_id is None
+        assert spans[0].attrs == {"key": "k1", "latency": 0.1}
+        assert spans[0].start_tick == 5 and spans[0].end_tick == 7
+
+    def test_start_without_trace_returns_none_and_end_tolerates(self):
+        tr = SpanTracer(sample=0.0)
+        span = tr.start("node_attempt", 3)
+        assert span is None
+        tr.end(span, 4)  # no-op, no raise
+        assert tr.traces() == []
+
+    def test_unclosed_descendants_close_with_ancestor(self):
+        tr = SpanTracer()
+        root = tr.start_trace(0, "get")
+        tr.start("a", 1)
+        tr.start("b", 2)
+        tr.end(root, 9)
+        (spans,) = tr.traces()
+        assert all(s.status == "ok" for s in spans)
+        assert all(s.end_tick == 9 for s in spans[1:])
+
+    def test_events_attach_to_current_span(self):
+        tr = SpanTracer()
+        root = tr.start_trace(0, "get")
+        child = tr.start("node_attempt", 0)
+        tr.event("retry", 1, attempt=1)
+        tr.end(child, 2)
+        tr.event("gave_up", 3)
+        tr.end(root, 3)
+        (spans,) = tr.traces()
+        assert spans[1].events == [{"name": "retry", "tick": 1,
+                                    "attempt": 1}]
+        assert spans[0].events == [{"name": "gave_up", "tick": 3}]
+
+    def test_capacity_drops_oldest_whole_traces(self):
+        tr = SpanTracer(capacity=2)
+        for i in range(5):
+            root = tr.start_trace(i, f"op{i}")
+            tr.end(root, i)
+        assert len(tr.traces()) == 2
+        assert tr.dropped_traces == 3
+        assert [t[0].name for t in tr.traces()] == ["op3", "op4"]
+
+    def test_record_single_is_a_one_span_trace(self):
+        tr = SpanTracer()
+        tr.record_single("get", 4, 4, status="ok", duration_s=0.001)
+        (spans,) = tr.traces()
+        assert len(spans) == 1
+        assert spans[0].attrs["duration_s"] == 0.001
+
+    def test_abandoned_trace_finished_on_next_start(self):
+        tr = SpanTracer()
+        tr.start_trace(0, "lost")
+        tr.start_trace(1, "next")
+        assert [t[0].name for t in tr.traces()] == ["lost"]
+        assert tr.active
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SpanTracer(sample=1.5)
+        with pytest.raises(ValueError):
+            SpanTracer(capacity=0)
+
+
+class TestSampling:
+    def test_extremes(self):
+        assert SpanTracer(sample=1.0).sampled(123)
+        assert not SpanTracer(sample=0.0).sampled(123)
+
+    def test_deterministic_in_seed_and_tick(self):
+        a = SpanTracer(sample=0.25, seed=42)
+        b = SpanTracer(sample=0.25, seed=42)
+        c = SpanTracer(sample=0.25, seed=43)
+        picks_a = [t for t in range(2000) if a.sampled(t)]
+        picks_b = [t for t in range(2000) if b.sampled(t)]
+        picks_c = [t for t in range(2000) if c.sampled(t)]
+        assert picks_a == picks_b
+        assert picks_a != picks_c
+        assert 300 < len(picks_a) < 700  # roughly 25%
+
+    def test_draw_is_pure_and_uniformish(self):
+        draws = [sample_draw(7, t) for t in range(1000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert draws == [sample_draw(7, t) for t in range(1000)]
+        assert 0.45 < sum(draws) / len(draws) < 0.55
+
+
+class TestRendering:
+    def _trace(self):
+        tr = SpanTracer()
+        root = tr.start_trace(0, "get", key="k")
+        a1 = tr.start("node_attempt", 0, node="node0", failover=False)
+        a1.add_event("conn_drop", 0, attempt=0)
+        a1.add_event("retry", 0, attempt=1)
+        tr.end(a1, 1, status="failed")
+        a2 = tr.start("node_attempt", 1, node="node1", failover=True)
+        tr.end(a2, 2, status="ok")
+        tr.end(root, 2, status="ok")
+        return tr.trace_dicts()[0]
+
+    def test_span_children_adjacency(self):
+        spans = self._trace()
+        children = span_children(spans)
+        assert len(children[None]) == 1
+        root_id = children[None][0]["span_id"]
+        assert [c["name"] for c in children[root_id]] == [
+            "node_attempt", "node_attempt"]
+
+    def test_waterfall_text(self):
+        text = format_waterfall(self._trace())
+        lines = text.splitlines()
+        assert lines[0].startswith("get ")
+        assert lines[1].startswith("  node_attempt")
+        assert "[conn_drop@0]" in text
+        assert "[retry@0]" in text
+        assert "status=failed" in text
+        assert "failover=True" in text
+
+    def test_waterfall_empty(self):
+        assert format_waterfall([]) == "(empty trace)"

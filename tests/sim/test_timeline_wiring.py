@@ -1,0 +1,114 @@
+"""Simulator <-> timeline/tracing wiring: golden series and purity.
+
+Two contracts from the observability PR are pinned here:
+
+1. A fixed-seed PAMA replay produces a *golden* per-class slab-count
+   timeline — any change to the allocator, migration logic, or the
+   recorder's windowing shows up as a diff against these values.
+2. Attaching a timeline (or not) never changes simulation results:
+   the instrumented branch is observational only.
+"""
+
+import pytest
+
+from repro import obs
+from repro._util import MIB
+from repro.cache import SlabCache, SizeClassConfig
+from repro.policies import make_policy
+from repro.sim import ServiceTimeModel, Simulator, simulate
+from repro.traces import ETC, generate
+
+REQUESTS = 20_000
+STRIDE = 5_000
+SEED = 11
+
+
+def _fresh_cache() -> SlabCache:
+    return SlabCache(4 * MIB, make_policy("pama", value_window=STRIDE),
+                     SizeClassConfig(slab_size=64 << 10))
+
+
+def _trace():
+    return generate(ETC.scaled(0.2), REQUESTS, seed=SEED)
+
+
+class TestGoldenSlabSeries:
+    """Fixed-seed PAMA run asserted against pinned per-window values.
+
+    If an intentional allocator/policy change shifts these, regenerate
+    with the same seed/config and update the constants — the point is
+    that the shift is *seen*, not that these numbers are sacred.
+    """
+
+    @pytest.fixture(scope="class")
+    def run(self):
+        timeline = obs.TimelineRecorder(stride=STRIDE)
+        sim = Simulator(_fresh_cache(), ServiceTimeModel(),
+                        window_gets=STRIDE, timeline=timeline)
+        result = sim.run(_trace())
+        return timeline, result
+
+    def test_window_layout(self, run):
+        timeline, result = run
+        assert timeline.series("window") == [0, 1, 2, 3]
+        assert timeline.series("gets") == [4627, 4608, 4592, 4621]
+        assert sum(timeline.series("gets")) == result.total_gets
+
+    def test_per_class_slab_series(self, run):
+        timeline, _ = run
+        golden = {
+            0: [5, 6, 5, 5],
+            3: [5, 5, 5, 7],
+            5: [6, 7, 8, 10],
+            8: [8, 7, 8, 12],
+            10: [9, 11, 10, 3],
+        }
+        for cls, series in golden.items():
+            assert timeline.class_slab_series(cls) == series, f"class {cls}"
+
+    def test_migration_flux_series(self, run):
+        timeline, _ = run
+        assert timeline.series("migrations") == [12, 65, 189, 317]
+
+    def test_decision_outcomes_recorded(self, run):
+        timeline, _ = run
+        first = timeline.rows[0]["decisions"]
+        assert first == {"approved": 5, "declined": 34, "forced": 7}
+        total = sum(sum(r["decisions"].values()) for r in timeline.rows)
+        assert total == sum(timeline.series("decision_count"))
+
+    def test_final_window_matches_result_snapshot(self, run):
+        timeline, result = run
+        last = timeline.rows[-1]["class_slabs"]
+        assert last == {str(c): n for c, n in
+                        result.final_class_slabs.items() if n}
+
+
+class TestObservationalPurity:
+    """Timeline/tracing attachment must not perturb the simulation."""
+
+    def _fields(self, result) -> tuple:
+        return (result.policy, result.hit_ratio, result.avg_service_time,
+                result.total_gets, result.cache_stats, result.windows,
+                result.final_class_slabs, result.final_queue_slabs)
+
+    def test_timeline_attached_results_identical(self):
+        trace = _trace()
+        plain = simulate(trace, _fresh_cache(), window_gets=STRIDE)
+        timed = simulate(trace, _fresh_cache(), window_gets=STRIDE,
+                         timeline=obs.TimelineRecorder(stride=STRIDE))
+        assert self._fields(plain) == self._fields(timed)
+
+    def test_disabled_run_is_repeatable_bit_identical(self):
+        trace = _trace()
+        a = simulate(trace, _fresh_cache(), window_gets=STRIDE)
+        b = simulate(trace, _fresh_cache(), window_gets=STRIDE)
+        assert self._fields(a) == self._fields(b)
+
+    def test_hit_ratio_agrees_with_timeline(self):
+        timeline = obs.TimelineRecorder(stride=STRIDE)
+        result = simulate(_trace(), _fresh_cache(), window_gets=STRIDE,
+                          timeline=timeline)
+        hits = sum(timeline.series("hits"))
+        gets = sum(timeline.series("gets"))
+        assert hits / gets == pytest.approx(result.hit_ratio)

@@ -121,6 +121,50 @@ class TestObs:
             main(["obs", "dump", "--requests", "100", "--format", "both"])
 
 
+class TestReport:
+    def test_chaos_dump_then_report(self, tmp_path, capsys):
+        dump = str(tmp_path / "dump")
+        assert main(["chaos", "node-flap", "--requests", "6000",
+                     "--scale", "0.02", "--cache-size", "1MiB",
+                     "--slab-size", "64KiB", "--window", "1000",
+                     "--policies", "pama", "--dump-dir", dump]) == 0
+        capsys.readouterr()
+        for name in ("meta.json", "timeline.jsonl", "spans.json",
+                     "snapshot.json"):
+            assert (tmp_path / "dump" / name).exists(), name
+
+        out = str(tmp_path / "report.html")
+        assert main(["report", dump, "--out", out,
+                     "--title", "node flap"]) == 0
+        assert "report.html" in capsys.readouterr().err
+        html = (tmp_path / "report.html").read_text()
+        assert "node flap" in html
+        assert "<svg" in html
+
+    def test_obs_dump_dir_then_report(self, tmp_path, capsys):
+        dump = str(tmp_path / "dump")
+        assert main(["obs", "dump", "--requests", "4000", "--scale",
+                     "0.02", "--cache-size", "1MiB", "--slab-size",
+                     "64KiB", "--window", "1000", "--dump-dir",
+                     dump]) == 0
+        capsys.readouterr()
+        assert (tmp_path / "dump" / "timeline.jsonl").exists()
+        assert main(["report", dump,
+                     "--out", str(tmp_path / "r.html")]) == 0
+
+    def test_report_rejects_bad_dump(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "missing"),
+                     "--out", str(tmp_path / "r.html")]) == 1
+        assert "report:" in capsys.readouterr().err
+
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "timeline.jsonl").write_text('{"window": 0}\n')
+        assert main(["report", str(bad),
+                     "--out", str(tmp_path / "r.html")]) == 1
+        assert "invalid dump" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
