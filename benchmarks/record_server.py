@@ -1,0 +1,248 @@
+"""Measure server throughput and track it in BENCH_server.json.
+
+The serving trajectory (``benchmarks/results/BENCH_server.json``) is an
+append-only history of what the load generator achieves against the two
+front ends: the ``legacy`` threaded server and the ``async`` sharded
+server.  Each run appends one entry with ops/s and p99 batch RTT per
+configuration; ``--check`` compares the gated configuration (``async``)
+against the most recent committed entry with the same op count and
+fails (exit 1) on a >25% regression.  The floor is normalised for host
+speed via the ``legacy`` configuration — same cache engine, same
+protocol, none of the async/sharding machinery — so a slow CI runner
+rescales the comparison instead of failing it spuriously.  ``--check``
+also enforces the headline claim directly: the async server must hold
+at least ``--min-speedup`` (default 2.0) times the legacy ops/s
+measured in the *same* run.
+
+Usage (from the repo root, PYTHONPATH=src)::
+
+    python benchmarks/record_server.py                 # full, append
+    python benchmarks/record_server.py --quick --check # the CI gate
+    python benchmarks/record_server.py --dry-run       # measure only
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.cache import SizeClassConfig, SlabCache  # noqa: E402
+from repro.core import PamaPolicy  # noqa: E402
+from repro.server import (LoadgenConfig, ShardSet,  # noqa: E402
+                          run_loadgen_sync, start_async_server,
+                          start_server)
+
+SCHEMA = "repro-kv/bench-server/v1"
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_server.json"
+#: the gated config may lose at most this fraction vs the reference.
+REGRESSION_TOLERANCE = 0.25
+#: config used to normalise for host speed (ungated reference engine).
+CALIBRATION_CONFIG = "legacy"
+
+CACHE_BYTES = 32 << 20
+SLAB_BYTES = 64 << 10
+NSHARDS = 4
+
+
+def start_legacy():
+    cache = SlabCache(CACHE_BYTES, PamaPolicy(),
+                      SizeClassConfig(slab_size=SLAB_BYTES))
+    server = start_server(cache)
+
+    class Handle:
+        port = server.port
+
+        @staticmethod
+        def stop():
+            server.shutdown()
+            server.server_close()
+
+    return Handle
+
+
+def start_async():
+    shards = ShardSet(CACHE_BYTES, PamaPolicy,
+                      SizeClassConfig(slab_size=SLAB_BYTES), nshards=NSHARDS)
+    return start_async_server(shards)
+
+
+CONFIGS = {"legacy": start_legacy, "async": start_async}
+
+
+def measure(cfg: LoadgenConfig, rounds: int, configs) -> dict[str, dict]:
+    """Best-of-``rounds`` loadgen results per server configuration."""
+    out = {}
+    for name in configs:
+        best = None
+        for _ in range(rounds):
+            handle = CONFIGS[name]()
+            try:
+                result = run_loadgen_sync("127.0.0.1", handle.port, cfg)
+            finally:
+                handle.stop()
+            if result.errors:
+                sys.exit(f"{name}: loadgen saw {result.errors} errors")
+            if best is None or result.ops_per_sec > best.ops_per_sec:
+                best = result
+        out[name] = {
+            "ops_per_sec": round(best.ops_per_sec, 1),
+            "p50_batch_rtt_ms": round(
+                best.latency_quantile(0.5) * 1e3, 3),
+            "p99_batch_rtt_ms": round(
+                best.latency_quantile(0.99) * 1e3, 3),
+            "hit_ratio": round(best.hit_ratio, 4),
+        }
+        print(f"  {name:<8} {best.ops_per_sec:>12,.0f} ops/s   "
+              f"p99 {out[name]['p99_batch_rtt_ms']:.1f} ms")
+    return out
+
+
+def load(path: Path) -> dict:
+    if path.exists():
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != SCHEMA:
+            sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+        return doc
+    return {"schema": SCHEMA,
+            "workload": {"driver": "repro.server.loadgen::run_loadgen",
+                         "servers": {"legacy": "threaded, 1 cache",
+                                     "async": f"asyncio, {NSHARDS} shards"}},
+            "entries": []}
+
+
+def reference_entry(entries: list[dict], n_ops: int) -> dict | None:
+    """Most recent committed entry measured at the same op count."""
+    for entry in reversed(entries):
+        if entry.get("n_ops") == n_ops:
+            return entry
+    return entries[-1] if entries else None
+
+
+def check(measured: dict[str, dict], reference: dict | None,
+          gates: list[str], min_speedup: float) -> list[str]:
+    failures = []
+    # within-run speedup gate: the async front end's reason to exist
+    legacy = measured.get("legacy", {}).get("ops_per_sec")
+    for gate in gates:
+        got = measured.get(gate, {}).get("ops_per_sec")
+        if gate == "legacy" or got is None or not legacy:
+            continue
+        speedup = got / legacy
+        verdict = "ok" if speedup >= min_speedup else "REGRESSION"
+        print(f"speedup {gate}/legacy: x{speedup:.2f} "
+              f"(floor x{min_speedup:.2f}) -> {verdict}")
+        if speedup < min_speedup:
+            failures.append(f"{gate}-speedup")
+    if reference is None:
+        print("no reference entry to check against; skipping history gate")
+        return failures
+    ref_rates = reference.get("results", {})
+    scale = 1.0
+    cal_ref = ref_rates.get(CALIBRATION_CONFIG, {}).get("ops_per_sec")
+    cal_got = measured.get(CALIBRATION_CONFIG, {}).get("ops_per_sec")
+    if cal_ref and cal_got and CALIBRATION_CONFIG not in gates:
+        scale = cal_got / cal_ref
+        print(f"host-speed calibration via {CALIBRATION_CONFIG}: "
+              f"{cal_got:,.0f} / {cal_ref:,.0f} ops/s -> x{scale:.3f}")
+    for gate in gates:
+        ref = ref_rates.get(gate, {}).get("ops_per_sec")
+        got = measured.get(gate, {}).get("ops_per_sec")
+        if ref is None or got is None:
+            continue
+        floor = ref * scale * (1.0 - REGRESSION_TOLERANCE)
+        verdict = "ok" if got >= floor else "REGRESSION"
+        print(f"gate {gate}: {got:,.0f} ops/s vs reference {ref:,.0f} "
+              f"({reference.get('label')}, floor {floor:,.0f}) -> {verdict}")
+        if got < floor:
+            failures.append(gate)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=30_000,
+                        help="total operations per round (default 30000)")
+    parser.add_argument("--connections", type=int, default=64)
+    parser.add_argument("--pipeline", type=int, default=8)
+    parser.add_argument("--keys", type=int, default=2_000)
+    parser.add_argument("--value-size", type=int, default=64)
+    parser.add_argument("--get-ratio", type=float, default=0.9)
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="rounds per config; best is kept")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 6000 ops, 16 conns, 1 round")
+    parser.add_argument("--configs", default=",".join(CONFIGS),
+                        help="comma-separated configuration labels")
+    parser.add_argument("--label", default="",
+                        help="entry label (default: quick/full + date)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="trajectory JSON to append to")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >25%% regression of the gated config "
+                             "or a speedup below --min-speedup")
+    parser.add_argument("--gate", default="async",
+                        help="comma-separated configs the --check gates")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="required async/legacy ops/s ratio (default 2)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="measure and print, do not touch the file")
+    args = parser.parse_args(argv)
+
+    n_ops = 6_000 if args.quick else args.ops
+    connections = 16 if args.quick else args.connections
+    rounds = 1 if args.quick else args.rounds
+    configs = [c for c in args.configs.split(",") if c]
+    for c in configs:
+        if c not in CONFIGS:
+            sys.exit(f"unknown config {c!r}; choose from {list(CONFIGS)}")
+    cfg = LoadgenConfig(connections=connections, pipeline=args.pipeline,
+                        ops=n_ops, get_ratio=args.get_ratio, keys=args.keys,
+                        value_size=args.value_size, seed=7)
+
+    mode = "quick" if args.quick else "full"
+    print(f"loadgen: {n_ops} ops, {connections} conns, "
+          f"pipeline {cfg.pipeline}, {rounds} round(s) ({mode} mode)")
+    measured = measure(cfg, rounds, configs)
+
+    doc = load(args.out)
+    failures = []
+    if args.check:
+        failures = check(measured, reference_entry(doc["entries"], n_ops),
+                         [g for g in args.gate.split(",") if g],
+                         args.min_speedup)
+
+    if not args.dry_run:
+        doc["entries"].append({
+            "label": args.label or
+            f"{mode} {datetime.date.today().isoformat()}",
+            "date": datetime.date.today().isoformat(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "n_ops": n_ops,
+            "connections": connections,
+            "pipeline": cfg.pipeline,
+            "rounds": rounds,
+            "results": measured,
+        })
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"appended entry #{len(doc['entries'])} to {args.out}")
+
+    if failures:
+        print(f"server bench gate FAILED for: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

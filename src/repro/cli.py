@@ -12,7 +12,10 @@ Subcommands:
   ``--dump-dir`` timeline + span dump)
 * ``report``   — render a dump directory as self-contained HTML
 * ``profile``  — cProfile a replay
-* ``serve``    — run the memcached-protocol server
+* ``serve``    — run the memcached-protocol server (async sharded by
+  default; ``--legacy`` for the threaded reference implementation)
+* ``loadgen``  — memtier-style load generator (``--spawn`` self-hosts
+  a server for one-command smoke runs)
 """
 
 from __future__ import annotations
@@ -328,17 +331,101 @@ def cmd_serve(args) -> int:
     from repro.server.server import CacheServer
 
     classes = SizeClassConfig(slab_size=parse_size(args.slab_size))
-    cache = SlabCache(parse_size(args.cache_size),
-                      make_policy(args.policy), classes)
-    server = CacheServer((args.host, args.port), cache)
-    print(f"serving {cache.describe()} on {args.host}:{server.port} "
-          f"(ctrl-c to stop)")
+    if args.legacy:
+        cache = SlabCache(parse_size(args.cache_size),
+                          make_policy(args.policy), classes)
+        server = CacheServer((args.host, args.port), cache)
+        print(f"serving [legacy threaded] {cache.describe()} on "
+              f"{args.host}:{server.port} (ctrl-c to stop)", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.server_close()
+        return 0
+
+    import asyncio
+
+    from repro.server.async_server import AsyncCacheServer
+    from repro.server.shard import ShardSet
+
+    shards = ShardSet(parse_size(args.cache_size),
+                      lambda: make_policy(args.policy), classes,
+                      nshards=args.shards)
+
+    async def serve() -> None:
+        server = AsyncCacheServer(shards)
+        await server.start(args.host, args.port)
+        print(f"serving [async x{args.shards} shards] "
+              f"{shards.shards[0].describe()} per shard on "
+              f"{args.host}:{server.port} (ctrl-c to stop)", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
     try:
-        server.serve_forever()
+        asyncio.run(serve())
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    from repro.server.loadgen import LoadgenConfig, run_loadgen_sync
+
+    cfg = LoadgenConfig(connections=args.connections,
+                        pipeline=args.pipeline, ops=args.ops,
+                        get_ratio=args.get_ratio, keys=args.keys,
+                        value_size=args.value_size,
+                        hot_fraction=args.hot_fraction, seed=args.seed,
+                        preload=not args.no_preload)
+    handle = None
+    host, port = args.host, args.port
+    if args.spawn:
+        # Self-hosted smoke mode: start a server in-process on an
+        # ephemeral port, drive it, tear it down — one command, no
+        # external server to manage (this is the CI smoke step).
+        from repro.cache import SizeClassConfig
+        from repro.policies import make_policy
+        from repro.server.async_server import start_async_server
+        from repro.server.server import start_server
+        from repro.server.shard import ShardSet
+
+        classes = SizeClassConfig(slab_size=parse_size(args.slab_size))
+        if args.spawn == "legacy":
+            from repro.cache import SlabCache
+            cache = SlabCache(parse_size(args.cache_size),
+                              make_policy(args.policy), classes)
+            handle = start_server(cache)
+            handle.stop = lambda: (handle.shutdown(), handle.server_close())
+        else:
+            shards = ShardSet(parse_size(args.cache_size),
+                              lambda: make_policy(args.policy), classes,
+                              nshards=args.shards)
+            handle = start_async_server(shards)
+        host, port = "127.0.0.1", handle.port
+        print(f"spawned {args.spawn} server on port {port}",
+              file=sys.stderr)
+    elif port is None:
+        print("loadgen: --port is required (or use --spawn)",
+              file=sys.stderr)
+        return 2
+    try:
+        result = run_loadgen_sync(host, port, cfg)
     finally:
-        server.server_close()
+        if handle is not None:
+            handle.stop()
+    print(result.format())
+    if args.min_ops_per_sec and result.ops_per_sec < args.min_ops_per_sec:
+        print(f"loadgen: {result.ops_per_sec:,.0f} ops/s is below the "
+              f"--min-ops-per-sec floor {args.min_ops_per_sec:,.0f}",
+              file=sys.stderr)
+        return 1
+    if result.errors:
+        print(f"loadgen: {result.errors} protocol errors", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -509,7 +596,47 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--cache-size", default="64MiB")
     v.add_argument("--slab-size", default="1MiB")
     v.add_argument("--policy", default="pama", choices=POLICY_NAMES)
+    v.add_argument("--shards", type=int, default=4,
+                   help="hash-partitioned shards of the async server")
+    v.add_argument("--legacy", action="store_true",
+                   help="run the threaded reference server instead of "
+                        "the async sharded front end")
     v.set_defaults(func=cmd_serve)
+
+    lg = subs.add_parser(
+        "loadgen",
+        help="memtier-style load generator for the protocol servers")
+    lg.add_argument("--host", default="127.0.0.1")
+    lg.add_argument("--port", type=int, default=None,
+                    help="target port (omit with --spawn)")
+    lg.add_argument("--spawn", choices=["async", "legacy"],
+                    help="self-host a server in-process on an ephemeral "
+                         "port for the duration of the run")
+    lg.add_argument("--connections", type=int, default=64)
+    lg.add_argument("--pipeline", type=int, default=8,
+                    help="requests kept on the wire per connection")
+    lg.add_argument("--ops", type=int, default=50_000)
+    lg.add_argument("--get-ratio", type=float, default=0.9,
+                    help="fraction of ops that are GETs")
+    lg.add_argument("--keys", type=int, default=10_000,
+                    help="key-universe size")
+    lg.add_argument("--value-size", type=int, default=64)
+    lg.add_argument("--hot-fraction", type=float, default=0.0,
+                    help="fraction of ops aimed at the hot 10%% of keys")
+    lg.add_argument("--seed", type=int, default=0)
+    lg.add_argument("--no-preload", action="store_true",
+                    help="skip SETting the key universe before measuring")
+    lg.add_argument("--min-ops-per-sec", type=float, default=0.0,
+                    help="exit 1 below this throughput floor")
+    lg.add_argument("--cache-size", default="64MiB",
+                    help="(--spawn only) server cache memory")
+    lg.add_argument("--slab-size", default="1MiB",
+                    help="(--spawn only) server slab size")
+    lg.add_argument("--policy", default="pama", choices=POLICY_NAMES,
+                    help="(--spawn only) server allocation policy")
+    lg.add_argument("--shards", type=int, default=4,
+                    help="(--spawn async only) shard count")
+    lg.set_defaults(func=cmd_loadgen)
 
     return parser
 

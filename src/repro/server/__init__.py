@@ -1,9 +1,28 @@
-"""Minimal memcached-protocol server and client over the slab cache."""
+"""Memcached-protocol serving: async sharded front end + legacy server.
 
+Two interchangeable front ends speak the same wire protocol over the
+slab cache:
+
+* :class:`AsyncCacheServer` (``start_async_server``) — the asyncio
+  sharded server: pipelined parsing, write coalescing, hash-partitioned
+  :class:`~repro.server.shard.ShardSet`, no hot-path locks.
+* :class:`CacheServer` (``start_server``) — the original
+  thread-per-connection server with one coarse lock; kept as the
+  reference implementation and differential-test oracle.
+"""
+
+from repro.server.async_server import (AsyncCacheServer, AsyncServerHandle,
+                                       start_async_server)
 from repro.server.client import CacheClient
-from repro.server.protocol import (ProtocolError, format_request,
-                                   parse_command)
+from repro.server.loadgen import (LoadgenConfig, LoadgenResult, run_loadgen,
+                                  run_loadgen_sync)
+from repro.server.protocol import (ProtocolError, StreamDecoder,
+                                   format_request, parse_command)
 from repro.server.server import CacheServer, start_server
+from repro.server.shard import ShardSet, shard_of
 
-__all__ = ["CacheServer", "start_server", "CacheClient", "parse_command",
-           "format_request", "ProtocolError"]
+__all__ = ["CacheServer", "start_server", "AsyncCacheServer",
+           "AsyncServerHandle", "start_async_server", "ShardSet",
+           "shard_of", "CacheClient", "parse_command", "format_request",
+           "ProtocolError", "StreamDecoder", "LoadgenConfig",
+           "LoadgenResult", "run_loadgen", "run_loadgen_sync"]

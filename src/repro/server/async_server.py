@@ -1,0 +1,356 @@
+"""Asyncio front end: pipelined parsing over hash-partitioned shards.
+
+The legacy :class:`~repro.server.server.CacheServer` is a thread per
+connection, a blocking ``readline`` per command, an unbuffered write per
+reply, and one coarse lock around every cache operation — at 64
+connections the process spends its time context-switching and fighting
+the lock, not serving.  This front end replaces all four costs:
+
+* **one event loop** owns every connection — no thread switches, no
+  lock: each shard is only ever touched from the loop, so the hot path
+  is plain function calls;
+* **hash-partitioned shards** (:mod:`repro.server.shard`, splitmix64 on
+  the key) bound per-shard state and map 1:1 onto a process-per-shard
+  deployment on multi-core hosts;
+* **pipelined parsing** (:class:`repro.server.protocol.StreamDecoder`)
+  decodes every command that arrived in a TCP segment in one pass;
+* **write coalescing** batches all replies of a decoded batch into a
+  single ``write``/``drain``.
+
+Reply bytes are identical to the legacy server's — both delegate
+storage and incr/decr semantics to :mod:`repro.server.shard`, and the
+differential suite replays full protocol scripts against both servers
+asserting byte equality.  The legacy server remains available as the
+``--legacy`` reference implementation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from repro import __version__
+from repro.obs import EventTrace, Registry, flat_items
+from repro.server import protocol as p
+from repro.server.server import _verb_of
+from repro.server.shard import (INCR_STORE_FAILED_MSG, STORE_FAILED,
+                                ShardSet, apply_incr_decr, apply_storage)
+
+#: bytes requested per socket read; one read often carries hundreds of
+#: pipelined commands, all decoded in one pass.
+_READ_SIZE = 64 * 1024
+
+
+class AsyncCacheServer:
+    """Asyncio TCP server over a :class:`ShardSet` (no hot-path locks)."""
+
+    def __init__(self, shards: ShardSet, registry: Registry | None = None,
+                 events: EventTrace | None = None, tracing=None) -> None:
+        self.shards = shards
+        self.tracer = tracing
+        first = shards.shards[0]
+        self.registry = registry or first.obs or Registry()
+        self.events = events or first.events or EventTrace()
+        shards.attach_obs(self.registry, self.events)
+        counter = self.registry.counter
+        self.c_connections = counter(
+            "server_connections_total", "client connections accepted")
+        self.c_bytes_read = counter(
+            "server_bytes_read_total", "bytes read from clients")
+        self.c_bytes_written = counter(
+            "server_bytes_written_total", "bytes written to clients")
+        self.c_protocol_errors = counter(
+            "server_protocol_errors_total", "malformed request lines")
+        self.c_server_errors = counter(
+            "server_errors_total", "unexpected errors answered SERVER_ERROR")
+        self._latency: dict[tuple[str, str], object] = {}
+        self._server: asyncio.Server | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, host, port, limit=_READ_SIZE)
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "server not started"
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    # -- metrics -------------------------------------------------------
+    def latency_histogram(self, verb: str, shard: str):
+        """Latency histogram labelled by command verb *and* shard."""
+        hist = self._latency.get((verb, shard))
+        if hist is None:
+            hist = self.registry.histogram(
+                "server_cmd_latency_seconds",
+                "wall-clock time to serve one command", lo=1e-7,
+                growth=1.5, cmd=verb, shard=shard)
+            self._latency[(verb, shard)] = hist
+        return hist
+
+    def _shard_label(self, cmd: p.Command) -> str:
+        """The shard a command routes to; "-" for cross-shard/admin.
+
+        A multi-key ``get`` is labelled by its first key's shard (the
+        common single-key case is then exact).
+        """
+        key = getattr(cmd, "key", None)
+        if key is None:
+            keys = getattr(cmd, "keys", None)
+            if not keys:
+                return "-"
+            key = keys[0]
+        return str(self.shards.shard_index(key))
+
+    def gather_stats(self, arg: str | None) -> dict[str, object]:
+        """The ``stats`` / ``stats detail`` payload (cross-shard)."""
+        shards = self.shards
+        shards.update_obs_gauges()
+        stats: dict[str, object] = shards.stats_snapshot()
+        stats["policy"] = shards.policy_name
+        stats["items"] = shards.items
+        stats["slabs_total"] = shards.slabs_total
+        stats["slabs_free"] = shards.slabs_free
+        stats["shards"] = shards.nshards
+        if arg == "detail":
+            stats.update(flat_items(self.registry))
+            stats["events_recorded"] = self.events.recorded
+            stats["events_dropped"] = self.events.dropped
+        else:
+            stats.update(flat_items(self.registry, histograms=False))
+        return stats
+
+    # -- connection handling -------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self.c_connections.inc()
+        decoder = p.StreamDecoder()
+        tracer = self.tracer
+        try:
+            while True:
+                chunk = await reader.read(_READ_SIZE)
+                if not chunk:
+                    return
+                self.c_bytes_read.inc(len(chunk))
+                decoder.feed(chunk)
+                out = bytearray()
+                keep_going = True
+                for event in decoder.events():
+                    tag = event[0]
+                    if tag == p.EV_COMMAND:
+                        cmd = event[1]
+                        if isinstance(cmd, p.QuitCommand):
+                            keep_going = False
+                            break
+                        started = time.perf_counter()
+                        try:
+                            self._execute(cmd, event[2], out)
+                        except Exception as exc:  # noqa: BLE001
+                            # Same contract as the threaded server: an
+                            # unexpected failure answers SERVER_ERROR,
+                            # then the connection closes.
+                            self.c_server_errors.inc()
+                            out += p.format_server_error(
+                                str(exc) or type(exc).__name__)
+                            keep_going = False
+                            break
+                        elapsed = time.perf_counter() - started
+                        self.latency_histogram(
+                            _verb_of(cmd), self._shard_label(cmd)).record(
+                                elapsed)
+                        if tracer is not None:
+                            # Per-shard ticks are only ever mutated from
+                            # this loop, so the snapshot is naturally
+                            # race-free (unlike the threaded server,
+                            # which must lock).
+                            tick = sum(c.accesses
+                                       for c in self.shards.shards)
+                            if tracer.sampled(tick):
+                                tracer.record_single(
+                                    _verb_of(cmd), tick, tick,
+                                    duration_s=elapsed,
+                                    shard=self._shard_label(cmd))
+                    elif tag == p.EV_ERROR:
+                        self.c_protocol_errors.inc()
+                        out += p.format_error(event[1])
+                    else:  # EV_FATAL: reply, then close
+                        self.c_protocol_errors.inc()
+                        out += p.format_error(event[1])
+                        keep_going = False
+                        break
+                if out:
+                    # write coalescing: one write() per decoded batch,
+                    # however many pipelined replies it carries.
+                    self.c_bytes_written.inc(len(out))
+                    writer.write(bytes(out))
+                    await writer.drain()
+                if not keep_going:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return  # client went away mid-conversation
+        except OSError:
+            return
+        except asyncio.CancelledError:
+            return  # server stopping; exit cleanly so the task is done
+        finally:
+            # close() without wait_closed(): the task may already be
+            # cancelled, and any await here would re-raise into the
+            # loop's exception handler.  The transport finishes closing
+            # on the loop.
+            writer.close()
+
+    # -- command execution ---------------------------------------------
+    def _execute(self, cmd: p.Command, data: bytes | None,
+                 out: bytearray) -> None:
+        """Apply one command against its shard; append reply bytes."""
+        shards = self.shards
+        if isinstance(cmd, p.GetCommand):
+            for key in cmd.keys:
+                item = shards.shard_for(key).get(key)
+                if item is not None and item.value is not None:
+                    flags, vdata = item.value
+                    out += p.format_value(
+                        key, flags, vdata,
+                        cas=item.cas if cmd.with_cas else None)
+            out += p.format_get_tail()
+            return
+        if isinstance(cmd, p.SetCommand):
+            reply = apply_storage(shards.shard_for(cmd.key), cmd, data)
+            if not cmd.noreply:
+                out += reply
+            return
+        if isinstance(cmd, p.IncrDecrCommand):
+            result = apply_incr_decr(shards.shard_for(cmd.key), cmd)
+            if not cmd.noreply:
+                if result is None:
+                    out += p.format_not_found()
+                elif result is STORE_FAILED:
+                    out += p.format_server_error(INCR_STORE_FAILED_MSG)
+                elif isinstance(result, bytes):
+                    out += p.format_error(result.decode())
+                else:
+                    out += p.format_number(result)
+            return
+        if isinstance(cmd, p.DeleteCommand):
+            found = shards.shard_for(cmd.key).delete(cmd.key)
+            if not cmd.noreply:
+                out += p.format_deleted(found)
+            return
+        if isinstance(cmd, p.TouchCommand):
+            cache = shards.shard_for(cmd.key)
+            found = cache.touch(
+                cmd.key, p.resolve_exptime(cmd.exptime, cache.clock()))
+            if not cmd.noreply:
+                out += p.format_touched(found)
+            return
+        if isinstance(cmd, p.FlushAllCommand):
+            shards.flush_all()
+            if not cmd.noreply:
+                out += p.format_ok()
+            return
+        if isinstance(cmd, p.StatsCommand):
+            out += p.format_stats(self.gather_stats(cmd.arg))
+            return
+        if isinstance(cmd, p.VersionCommand):
+            out += p.format_version(f"repro-pama/{__version__}")
+            return
+        raise AssertionError(f"unhandled command {cmd!r}")  # pragma: no cover
+
+
+# -- background-thread harness (tests, benches, --spawn) ---------------------
+
+class AsyncServerHandle:
+    """A running :class:`AsyncCacheServer` on a background event loop.
+
+    The synchronous counterpart of ``start_server`` for the async
+    server: tests and benchmarks get a bound ``port`` immediately and
+    call :meth:`stop` when done.
+    """
+
+    def __init__(self, server: AsyncCacheServer, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread) -> None:
+        self.server = server
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def shards(self) -> ShardSet:
+        return self.server.shards
+
+    @property
+    def registry(self) -> Registry:
+        return self.server.registry
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+    def __enter__(self) -> "AsyncServerHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def start_async_server(shards: ShardSet, host: str = "127.0.0.1",
+                       port: int = 0, tracing=None) -> AsyncServerHandle:
+    """Start an async sharded server on a background thread.
+
+    Returns once the socket is bound; the bound port is
+    ``handle.port``.  Call ``handle.stop()`` to shut down.
+    """
+    server = AsyncCacheServer(shards, tracing=tracing)
+    loop = asyncio.new_event_loop()
+    ready = threading.Event()
+    startup_error: list[BaseException] = []
+
+    def run() -> None:
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(server.start(host, port))
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            startup_error.append(exc)
+            ready.set()
+            loop.close()
+            return
+        ready.set()
+        try:
+            loop.run_forever()
+            loop.run_until_complete(server.stop())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, daemon=True,
+                              name="repro-async-server")
+    thread.start()
+    ready.wait()
+    if startup_error:
+        raise startup_error[0]
+    return AsyncServerHandle(server, loop, thread)

@@ -170,7 +170,9 @@ class CacheClient:
         resp = self._readline()
         if resp == b"NOT_FOUND":
             return None
-        if resp.startswith(b"CLIENT_ERROR"):
+        if resp.startswith((b"CLIENT_ERROR", b"SERVER_ERROR", b"ERROR")):
+            # Without the SERVER_ERROR/ERROR cases, int(resp) below
+            # raised a bare ValueError that hid the server's message.
             raise RuntimeError(resp.decode())
         return int(resp)
 
@@ -209,8 +211,8 @@ class CacheClient:
                 return value
             if line.startswith(b"VALUE "):
                 _tag, _key, _flags, nbytes = line.split()
-                value = self._rfile.read(int(nbytes))
-                self._rfile.read(2)  # CRLF
+                value = self._read_exact(int(nbytes))
+                self._read_exact(2)  # CRLF
             else:
                 raise RuntimeError(f"unexpected get response: {line!r}")
 
@@ -227,8 +229,8 @@ class CacheClient:
                 return result
             if line.startswith(b"VALUE "):
                 _tag, _key, _flags, nbytes, cas_unique = line.split()
-                value = self._rfile.read(int(nbytes))
-                self._rfile.read(2)  # CRLF
+                value = self._read_exact(int(nbytes))
+                self._read_exact(2)  # CRLF
                 result = (value, int(cas_unique))
             else:
                 raise RuntimeError(f"unexpected gets response: {line!r}")
@@ -278,3 +280,17 @@ class CacheClient:
         if not line:
             raise ConnectionError("server closed the connection")
         return line.rstrip(b"\r\n")
+
+    def _read_exact(self, nbytes: int) -> bytes:
+        """Read exactly ``nbytes`` or raise ``ConnectionError``.
+
+        A bare ``file.read(n)`` returns *up to* ``n`` bytes at EOF: if
+        the server dies mid-data-block, the old code handed a silently
+        truncated value back to the caller as if it were complete.
+        """
+        data = self._rfile.read(nbytes)
+        if len(data) != nbytes:
+            raise ConnectionError(
+                f"server closed the connection mid-value "
+                f"({len(data)}/{nbytes} bytes)")
+        return data

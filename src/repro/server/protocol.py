@@ -234,6 +234,132 @@ def parse_command(line: bytes) -> Command:
     raise ProtocolError(f"unknown command {cmd!r}")
 
 
+# -- incremental decoding ----------------------------------------------------
+
+#: decoder event tags (first element of every tuple ``events`` yields).
+EV_COMMAND = "cmd"      # ("cmd", Command, data_block_or_None)
+EV_ERROR = "error"      # ("error", message) — reply CLIENT_ERROR, keep open
+EV_FATAL = "fatal"      # ("fatal", message) — reply CLIENT_ERROR, then close
+
+
+class StreamDecoder:
+    """Incremental decoder for a pipelined memcached text stream.
+
+    Feed raw socket chunks with :meth:`feed`; drain complete items with
+    :meth:`events`, which yields zero or more tuples per call:
+
+    * ``(EV_COMMAND, command, data)`` — a parsed command; ``data`` is the
+      data block (without CRLF) for storage commands, else ``None``.
+    * ``(EV_ERROR, message)`` — a recoverable protocol error (the stream
+      is back in sync; reply ``CLIENT_ERROR`` and continue).
+    * ``(EV_FATAL, message)`` — an unrecoverable framing error (bad data
+      trailer, or a storage line whose byte count is unknowable); reply
+      and close.  The decoder refuses further input afterwards.
+
+    Semantics mirror the threaded server's blocking loop exactly — the
+    same recovery rules documented in docs/protocol.md (drain the data
+    block of a malformed-but-countable storage line, close when the
+    count is unknowable or the trailer is not CRLF) — so the async
+    server's replies stay byte-identical to the legacy server's.  The
+    difference is purely operational: any number of pipelined commands
+    arriving in one TCP segment decode in one pass with no per-command
+    syscalls.
+    """
+
+    #: commands may not exceed this line length (a full-size key plus
+    #: every field fits in a fraction of it; anything longer is abuse).
+    MAX_LINE = 8192
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._pos = 0  # consumed prefix of _buf
+        self._pending: SetCommand | None = None  # awaiting its data block
+        self._drain = 0  # payload bytes still to discard (resync)
+        self._drain_msg: str | None = None
+        self.closed = False
+
+    def feed(self, chunk: bytes) -> None:
+        """Append one received chunk (no decoding happens here)."""
+        if not self.closed:
+            self._buf += chunk
+
+    @property
+    def buffered(self) -> int:
+        """Bytes received but not yet consumed by :meth:`events`."""
+        return len(self._buf) - self._pos
+
+    def _compact(self) -> None:
+        if self._pos:
+            del self._buf[:self._pos]
+            self._pos = 0
+
+    def events(self):
+        """Yield decoded events until the buffer has no complete item."""
+        buf = self._buf
+        while not self.closed:
+            # 1) resync drain after a malformed-but-countable storage line
+            if self._drain:
+                avail = len(buf) - self._pos
+                take = min(self._drain, avail)
+                self._pos += take
+                self._drain -= take
+                if self._drain:
+                    break  # need more bytes
+                msg, self._drain_msg = self._drain_msg, None
+                yield (EV_ERROR, msg)
+                continue
+            # 2) a storage command is waiting for its data block + CRLF
+            if self._pending is not None:
+                need = self._pending.nbytes + 2
+                if len(buf) - self._pos < need:
+                    break
+                cmd, self._pending = self._pending, None
+                start = self._pos
+                data = bytes(buf[start:start + cmd.nbytes])
+                trailer = bytes(buf[start + cmd.nbytes:start + need])
+                self._pos += need
+                if trailer != CRLF:
+                    # framing is lost: there is no way to know where the
+                    # next command starts.
+                    self.closed = True
+                    yield (EV_FATAL, "bad data chunk")
+                    break
+                yield (EV_COMMAND, cmd, data)
+                continue
+            # 3) otherwise: decode the next request line
+            nl = buf.find(b"\n", self._pos)
+            if nl < 0:
+                if len(buf) - self._pos > self.MAX_LINE:
+                    self.closed = True
+                    yield (EV_FATAL, "command line too long")
+                break
+            line = bytes(buf[self._pos:nl]).rstrip(b"\r\n")
+            self._pos = nl + 1
+            if not line:
+                continue
+            try:
+                cmd = parse_command(line)
+            except ProtocolError as exc:
+                if exc.data_bytes is not None:
+                    # the client still sends the data block; discard
+                    # payload + CRLF before replying, or its bytes would
+                    # be decoded as commands (the classic desync bug).
+                    self._drain = exc.data_bytes + 2
+                    self._drain_msg = str(exc)
+                    continue
+                if exc.fatal:
+                    self.closed = True
+                    yield (EV_FATAL, str(exc))
+                    break
+                yield (EV_ERROR, str(exc))
+                continue
+            if isinstance(cmd, SetCommand):
+                self._pending = cmd
+                continue
+            yield (EV_COMMAND, cmd, None)
+        self._compact()
+
+
 # -- response formatting -----------------------------------------------------
 
 def format_value(key: str, flags: int, data: bytes,

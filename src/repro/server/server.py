@@ -21,6 +21,8 @@ from repro import __version__
 from repro.cache.cache import SlabCache
 from repro.obs import EventTrace, Registry, flat_items
 from repro.server import protocol as p
+from repro.server.shard import (INCR_STORE_FAILED_MSG, STORE_FAILED,
+                                apply_incr_decr, apply_storage)
 
 #: largest chunk drained at once when resyncing after a bad storage line.
 _DRAIN_CHUNK = 64 * 1024
@@ -85,7 +87,11 @@ class CacheRequestHandler(socketserver.StreamRequestHandler):
             if tracer is not None:
                 # One tick per completed command; record_single is the
                 # thread-safe path (one deque append under the GIL).
-                tick = self.server.cache.accesses
+                # The tick snapshot must happen under the cache lock:
+                # `accesses` is mutated by every operation, and an
+                # unlocked read here races the other handler threads.
+                with self.server.lock:
+                    tick = self.server.cache.accesses
                 if tracer.sampled(tick):
                     tracer.record_single(_verb_of(cmd), tick, tick,
                                          duration_s=elapsed)
@@ -113,9 +119,12 @@ class CacheRequestHandler(socketserver.StreamRequestHandler):
         if isinstance(cmd, p.SetCommand):
             data = self.rfile.read(cmd.nbytes)
             trailer = self.rfile.read(2)
+            # Count what was actually read *before* bailing on a short
+            # read, or a client hanging up mid-block leaves every byte
+            # of its partial data block out of server_bytes_read_total.
+            self.server.c_bytes_read.inc(len(data) + len(trailer))
             if len(data) != cmd.nbytes or len(trailer) != 2:
                 return False  # short read: the client hung up mid-block
-            self.server.c_bytes_read.inc(len(data) + len(trailer))
             if trailer != p.CRLF:
                 # Framing is lost (we cannot know where the next command
                 # starts), so reply and drop the connection.
@@ -132,6 +141,10 @@ class CacheRequestHandler(socketserver.StreamRequestHandler):
             if not cmd.noreply:
                 if result is None:
                     self._reply(p.format_not_found())
+                elif result is STORE_FAILED:
+                    # The computed number was NOT stored; claiming
+                    # success would lie to the client.
+                    self._reply(p.format_server_error(INCR_STORE_FAILED_MSG))
                 elif isinstance(result, bytes):
                     self._reply(p.format_error(result.decode()))
                 else:
@@ -177,55 +190,10 @@ class CacheRequestHandler(socketserver.StreamRequestHandler):
             return True
         raise AssertionError(f"unhandled command {cmd!r}")  # pragma: no cover
 
-    @staticmethod
-    def _store(cache, cmd: p.SetCommand, data: bytes) -> bytes:
-        """Apply a storage verb; returns the reply line."""
-        expires = p.resolve_exptime(cmd.exptime, cache.clock())
-        existing = cache.get(cmd.key)  # honours expiry
-        if cmd.verb == "add" and existing is not None:
-            return p.format_not_stored()
-        if cmd.verb == "replace" and existing is None:
-            return p.format_not_stored()
-        if cmd.verb == "cas":
-            if existing is None:
-                return p.format_not_found()
-            if existing.cas != cmd.cas_unique:
-                return p.format_exists()
-        if cmd.verb in ("append", "prepend"):
-            if existing is None or existing.value is None:
-                return p.format_not_stored()
-            old_flags, old_data = existing.value
-            data = (old_data + data if cmd.verb == "append"
-                    else data + old_data)
-            # concatenation keeps the original flags/penalty/expiry
-            ok = cache.set(cmd.key, len(cmd.key), len(data),
-                           existing.penalty, value=(old_flags, data),
-                           expires_at=existing.expires_at)
-            return p.format_stored() if ok else p.format_not_stored()
-        ok = cache.set(cmd.key, len(cmd.key), cmd.nbytes, cmd.penalty,
-                       value=(cmd.flags, data), expires_at=expires)
-        return p.format_stored() if ok else p.format_not_stored()
-
-    @staticmethod
-    def _incr_decr(cache, cmd: p.IncrDecrCommand):
-        """Returns the new value, None if absent, or bytes for an error."""
-        item = cache.get(cmd.key)
-        if item is None or item.value is None:
-            return None
-        flags, data = item.value
-        # memcached treats values as unsigned ASCII decimals: "+10",
-        # " 10 " and "1_0" all pass int() but are not valid numbers.
-        if not data.isdigit():
-            return b"cannot increment or decrement non-numeric value"
-        current = int(data)
-        if cmd.decrement:
-            new = max(0, current - cmd.delta)  # memcached clamps at 0
-        else:
-            new = (current + cmd.delta) % (1 << 64)  # 64-bit wraparound
-        payload = str(new).encode()
-        cache.set(cmd.key, len(cmd.key), len(payload), item.penalty,
-                  value=(flags, payload), expires_at=item.expires_at)
-        return new
+    # Storage and incr/decr semantics are shared with the async sharded
+    # server (repro.server.shard) so the two front ends cannot drift.
+    _store = staticmethod(apply_storage)
+    _incr_decr = staticmethod(apply_incr_decr)
 
 
 def _verb_of(cmd: p.Command) -> str:

@@ -1,0 +1,179 @@
+"""End-to-end tests for the async sharded front end."""
+
+import socket
+
+import pytest
+
+from repro.cache import SizeClassConfig
+from repro.core import PamaPolicy
+from repro.obs import SpanTracer
+from repro.server import (CacheClient, ShardSet, shard_of,
+                          start_async_server)
+
+
+def make_shards(nshards: int = 4) -> ShardSet:
+    return ShardSet(8 << 20, PamaPolicy,
+                    SizeClassConfig(slab_size=64 << 10), nshards=nshards)
+
+
+@pytest.fixture
+def handle():
+    h = start_async_server(make_shards())
+    yield h
+    h.stop()
+
+
+class TestRoundTrip:
+    def test_set_get_delete(self, handle):
+        with CacheClient(port=handle.port) as c:
+            assert c.set("alpha", b"one")
+            assert c.get("alpha") == b"one"
+            assert c.delete("alpha")
+            assert c.get("alpha") is None
+
+    def test_storage_verbs(self, handle):
+        with CacheClient(port=handle.port) as c:
+            assert not c.replace("k", b"x")   # absent
+            assert c.add("k", b"head")
+            assert not c.add("k", b"again")   # present
+            assert c.append("k", b"-tail")
+            assert c.prepend("k", b"pre-")
+            assert c.get("k") == b"pre-head-tail"
+
+    def test_gets_cas(self, handle):
+        with CacheClient(port=handle.port) as c:
+            c.set("k", b"v1")
+            value, cas = c.gets("k")
+            assert value == b"v1"
+            assert c.cas("k", b"v2", cas) is True
+            assert c.cas("k", b"v3", cas) is False  # stale id
+            assert c.get("k") == b"v2"
+
+    def test_incr_decr(self, handle):
+        with CacheClient(port=handle.port) as c:
+            c.set("n", b"10")
+            assert c.incr("n", 5) == 15
+            assert c.decr("n", 20) == 0  # clamps at zero
+            assert c.incr("missing") is None
+
+    def test_binary_safe_values(self, handle):
+        payload = bytes(range(256)) + b"\r\nEND\r\n" + bytes(range(256))
+        with CacheClient(port=handle.port) as c:
+            c.set("bin", payload)
+            assert c.get("bin") == payload
+
+    def test_version_and_touch(self, handle):
+        with CacheClient(port=handle.port) as c:
+            assert c.version().startswith("repro-pama/")
+            c.set("k", b"v")
+            assert c.touch("k", 100)
+            assert not c.touch("missing", 100)
+
+
+class TestSharding:
+    def test_keys_land_on_their_hash_shard(self, handle):
+        keys = [f"key-{i}" for i in range(200)]
+        with CacheClient(port=handle.port) as c:
+            for k in keys:
+                c.set(k, b"v")
+        shards = handle.shards
+        for k in keys:
+            idx = shard_of(k, shards.nshards)
+            assert shards.shards[idx].get(k) is not None
+
+    def test_distribution_covers_every_shard(self, handle):
+        with CacheClient(port=handle.port) as c:
+            for i in range(400):
+                c.set(f"key-{i}", b"v")
+        per_shard = [len(s) for s in handle.shards.shards]
+        assert all(n > 0 for n in per_shard)
+        assert sum(per_shard) == 400
+
+    def test_stats_aggregate_across_shards(self, handle):
+        with CacheClient(port=handle.port) as c:
+            for i in range(100):
+                c.set(f"key-{i}", b"v")
+            for i in range(100):
+                c.get(f"key-{i}")
+            stats = c.stats()
+        assert int(stats["items"]) == 100
+        assert int(stats["shards"]) == 4
+        assert int(float(stats["hits"])) >= 100
+        total = sum(len(s) for s in handle.shards.shards)
+        assert int(stats["items"]) == total
+
+    def test_flush_all_clears_every_shard(self, handle):
+        with CacheClient(port=handle.port) as c:
+            for i in range(100):
+                c.set(f"key-{i}", b"v")
+            c.flush_all()
+            assert c.get("key-0") is None
+        assert all(len(s) == 0 for s in handle.shards.shards)
+
+
+class TestPipelining:
+    def test_noreply_pipelined_burst(self, handle):
+        # one TCP segment carrying many noreply sets plus a version
+        # sentinel: replies must be exactly the sentinel's.
+        burst = bytearray()
+        for i in range(50):
+            burst += b"set k%d 0 0 2 noreply\r\nv%d\r\n" % (i, i % 10)
+        burst += b"get k7\r\nversion\r\nquit\r\n"
+        with socket.create_connection(("127.0.0.1", handle.port)) as sock:
+            sock.sendall(bytes(burst))
+            reply = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                reply += chunk
+        assert reply.startswith(b"VALUE k7 0 2\r\nv7\r\nEND\r\n")
+        assert b"VERSION repro-pama/" in reply
+        assert reply.count(b"STORED") == 0  # noreply suppressed all
+
+    def test_protocol_error_recovery(self, handle):
+        # a bad storage line (unparseable flags, readable byte count)
+        # must drain its data block and keep the connection usable
+        with socket.create_connection(("127.0.0.1", handle.port)) as sock:
+            sock.sendall(b"set k bad 0 7\r\nversion\r\nversion\r\nquit\r\n")
+            reply = b""
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                reply += chunk
+        assert reply.startswith(b"CLIENT_ERROR")
+        assert reply.count(b"VERSION repro-pama/") == 1
+
+
+class TestObservability:
+    def test_per_shard_latency_histograms(self, handle):
+        with CacheClient(port=handle.port) as c:
+            for i in range(100):
+                c.set(f"key-{i}", b"v")
+                c.get(f"key-{i}")
+        shard_labels = {dict(m.labels).get("shard")
+                        for m in handle.registry.collect()
+                        if m.name == "server_cmd_latency_seconds"}
+        shard_labels -= {"-", None}
+        assert len(shard_labels) >= 2  # several shards saw traffic
+
+    def test_tracer_records_spans(self):
+        tracer = SpanTracer(sample=1.0)
+        handle = start_async_server(make_shards(), tracing=tracer)
+        try:
+            with CacheClient(port=handle.port) as c:
+                for i in range(10):
+                    c.set(f"k{i}", b"v")
+        finally:
+            handle.stop()
+        assert tracer.finished_traces >= 10
+
+    def test_bytes_counters_move(self, handle):
+        with CacheClient(port=handle.port) as c:
+            c.set("k", b"hello")
+            c.get("k")
+        read = handle.registry.get("server_bytes_read_total")
+        written = handle.registry.get("server_bytes_written_total")
+        assert read.value > 0
+        assert written.value > 0

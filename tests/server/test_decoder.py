@@ -1,0 +1,128 @@
+"""Unit tests for the incremental pipelined decoder."""
+
+import pytest
+
+from repro.server import protocol as p
+
+
+def drain(decoder):
+    return list(decoder.events())
+
+
+def feed_all(data: bytes, chunk: int = 0):
+    """Feed ``data`` (whole, or in ``chunk``-byte pieces); return events."""
+    d = p.StreamDecoder()
+    events = []
+    if chunk:
+        for i in range(0, len(data), chunk):
+            d.feed(data[i:i + chunk])
+            events.extend(d.events())
+    else:
+        d.feed(data)
+        events.extend(d.events())
+    return events
+
+
+class TestBasicDecoding:
+    def test_single_get(self):
+        (ev,) = feed_all(b"get alpha\r\n")
+        assert ev[0] == p.EV_COMMAND
+        assert ev[1] == p.GetCommand(keys=("alpha",))
+        assert ev[2] is None
+
+    def test_storage_with_data_block(self):
+        (ev,) = feed_all(b"set k 7 0 3\r\nabc\r\n")
+        assert ev[0] == p.EV_COMMAND
+        assert ev[1].verb == "set" and ev[1].nbytes == 3
+        assert ev[2] == b"abc"
+
+    def test_pipelined_burst_decodes_in_one_pass(self):
+        data = (b"set a 0 0 1\r\nx\r\n"
+                b"get a\r\n"
+                b"delete a noreply\r\n"
+                b"version\r\n")
+        events = feed_all(data)
+        kinds = [type(ev[1]).__name__ for ev in events]
+        assert kinds == ["SetCommand", "GetCommand", "DeleteCommand",
+                        "VersionCommand"]
+
+    def test_empty_lines_are_skipped(self):
+        events = feed_all(b"\r\n\r\nversion\r\n")
+        assert len(events) == 1
+        assert isinstance(events[0][1], p.VersionCommand)
+
+    def test_bare_lf_line_endings_accepted(self):
+        (ev,) = feed_all(b"get alpha\n")
+        assert ev[1] == p.GetCommand(keys=("alpha",))
+
+    def test_value_containing_crlf_survives(self):
+        payload = b"a\r\nEND\r\nb"
+        (ev,) = feed_all(b"set k 0 0 %d\r\n%s\r\n" % (len(payload), payload))
+        assert ev[2] == payload
+
+
+class TestChunkedArrival:
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 7])
+    def test_byte_at_a_time_equals_one_shot(self, chunk):
+        data = (b"set k 1 0 5\r\nhello\r\n"
+                b"gets k\r\n"
+                b"incr n 4\r\n"
+                b"quit\r\n")
+        assert feed_all(data, chunk=chunk) == feed_all(data)
+
+    def test_data_block_split_across_chunks(self):
+        d = p.StreamDecoder()
+        d.feed(b"set k 0 0 6\r\nfoo")
+        assert drain(d) == []
+        d.feed(b"bar\r\nversion\r\n")
+        events = drain(d)
+        assert events[0][2] == b"foobar"
+        assert isinstance(events[1][1], p.VersionCommand)
+
+    def test_buffered_counts_unconsumed_bytes(self):
+        d = p.StreamDecoder()
+        d.feed(b"set k 0 0 10\r\nabc")
+        drain(d)
+        assert d.buffered == 3  # partial data block retained
+
+
+class TestErrorRecovery:
+    def test_recoverable_storage_error_drains_data_block(self):
+        # flags is bad but the byte count (7) is readable: the 7+2
+        # payload bytes spell a valid command and must NOT be decoded.
+        events = feed_all(b"set k bad 0 7\r\nversion\r\nversion\r\n")
+        assert events[0][0] == p.EV_ERROR
+        assert len(events) == 2
+        assert isinstance(events[1][1], p.VersionCommand)
+
+    def test_drain_split_across_chunks(self):
+        d = p.StreamDecoder()
+        d.feed(b"set k bad 0 10\r\nabc")
+        assert drain(d) == []  # still draining, no event yet
+        d.feed(b"0123456\r\nversion\r\n")
+        events = drain(d)
+        assert events[0][0] == p.EV_ERROR
+        assert isinstance(events[1][1], p.VersionCommand)
+
+    def test_unknowable_byte_count_is_fatal(self):
+        events = feed_all(b"set k 0 0 xyz\r\nwhatever")
+        assert events[-1][0] == p.EV_FATAL
+        d = p.StreamDecoder()
+        d.feed(b"set k 0 0 xyz\r\n")
+        list(d.events())
+        assert d.closed
+        d.feed(b"version\r\n")  # refused after close
+        assert drain(d) == []
+
+    def test_bad_trailer_is_fatal(self):
+        events = feed_all(b"set k 0 0 3\r\nabcXYjunk")
+        assert events == [(p.EV_FATAL, "bad data chunk")]
+
+    def test_unknown_command_is_recoverable(self):
+        events = feed_all(b"bogus\r\nversion\r\n")
+        assert events[0][0] == p.EV_ERROR
+        assert isinstance(events[1][1], p.VersionCommand)
+
+    def test_oversized_line_is_fatal(self):
+        events = feed_all(b"g" * (p.StreamDecoder.MAX_LINE + 2))
+        assert events == [(p.EV_FATAL, "command line too long")]
