@@ -1,0 +1,202 @@
+"""Measure trace compile + streamed replay speed; track the trajectory.
+
+``benchmarks/results/BENCH_trace_compile.json`` is an append-only
+history of what the columnar trace compiler achieves on this host:
+
+* ``compile_ops_per_sec`` — synthetic generation + columnar write
+  (:func:`repro.traces.compile.compile_synthetic`, chunked, so the
+  compile itself runs in bounded memory);
+* ``replay_ops_per_sec`` — a memcached-policy ``simulate()`` over the
+  compiled trace through the streaming window iterator (mmap windows,
+  consumed pages madvised away);
+* ``wall_clock_per_100m_ops_s`` — the headline the compiler exists
+  for: extrapolated end-to-end seconds to compile *and* replay a
+  100M-operation trace (``1e8 / compile_rate + 1e8 / replay_rate``);
+* ``peak_rss_bytes`` — the process high-water mark after the run.  On
+  a bounded-memory code path this stays flat as ``--ops`` grows; it is
+  recorded for the trajectory, not gated (absolute RSS is host noise).
+
+Each run appends one entry; ``--check`` compares the gated rates
+against the most recent committed entry with the same op count and
+fails (exit 1) on a >25% regression — the CI smoke gate for the
+compile/streamed-replay path.
+
+Usage (from the repo root, PYTHONPATH=src)::
+
+    python benchmarks/record_trace_compile.py                 # full, append
+    python benchmarks/record_trace_compile.py --quick --check # the CI gate
+    python benchmarks/record_trace_compile.py --dry-run       # measure only
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import platform
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro._util import MIB
+from repro.cache import SizeClassConfig, SlabCache
+from repro.policies import make_policy
+from repro.sim.simulator import simulate
+from repro.traces import ETC, CompiledTrace, compile_synthetic
+
+SCHEMA = "repro-kv/bench-trace-compile/v1"
+DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_trace_compile.json"
+#: a gated rate may lose at most this fraction vs the reference entry.
+REGRESSION_TOLERANCE = 0.25
+#: the rates the --check gate compares by default.
+GATES = ("compile_ops_per_sec", "replay_ops_per_sec")
+PROFILE = ETC.scaled(0.1)
+REPLAY_WINDOW = 1 << 17
+
+
+def _replay_cache() -> SlabCache:
+    return SlabCache(8 * MIB, make_policy("memcached"),
+                     SizeClassConfig(slab_size=64 << 10))
+
+
+def measure(n_ops: int, rounds: int) -> dict[str, float]:
+    """Best-of-``rounds`` rates for compile and streamed replay."""
+    best_compile = float("inf")
+    best_replay = float("inf")
+    with tempfile.TemporaryDirectory(prefix="bench-ctrc-") as tmp:
+        for rnd in range(rounds):
+            out = Path(tmp) / f"bench-{rnd}.ctrc"
+            started = time.perf_counter()
+            compile_synthetic(PROFILE, n_ops, out, seed=7, chunk=1 << 20)
+            best_compile = min(best_compile, time.perf_counter() - started)
+
+            trace = CompiledTrace(out, window=REPLAY_WINDOW)
+            started = time.perf_counter()
+            simulate(trace, _replay_cache(), window_gets=max(n_ops, 1))
+            best_replay = min(best_replay, time.perf_counter() - started)
+
+    compile_rate = n_ops / best_compile
+    replay_rate = n_ops / best_replay
+    metrics = {
+        "compile_ops_per_sec": round(compile_rate, 1),
+        "replay_ops_per_sec": round(replay_rate, 1),
+        "wall_clock_per_100m_ops_s": round(
+            1e8 / compile_rate + 1e8 / replay_rate, 1),
+        "peak_rss_bytes": resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss * 1024,
+    }
+    print(f"  compile {metrics['compile_ops_per_sec']:>12,.0f} ops/s")
+    print(f"  replay  {metrics['replay_ops_per_sec']:>12,.0f} ops/s")
+    print(f"  100M-op wall clock (extrapolated) "
+          f"{metrics['wall_clock_per_100m_ops_s']:,.0f} s")
+    print(f"  peak RSS {metrics['peak_rss_bytes'] / MIB:,.0f} MiB")
+    return metrics
+
+
+def load(path: Path) -> dict:
+    if path.exists():
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("schema") != SCHEMA:
+            sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+        return doc
+    return {"schema": SCHEMA,
+            "workload": {"driver":
+                         "benchmarks/record_trace_compile.py::measure",
+                         "profile": "etc x0.1", "seed": 7,
+                         "replay": "memcached, 8 MiB cache, "
+                                   f"window {REPLAY_WINDOW}"},
+            "entries": []}
+
+
+def reference_entry(entries: list[dict], n_ops: int) -> dict | None:
+    """Most recent committed entry measured at the same op count."""
+    for entry in reversed(entries):
+        if entry.get("n_ops") == n_ops:
+            return entry
+    return entries[-1] if entries else None
+
+
+def check(measured: dict[str, float], reference: dict | None,
+          gates: list[str]) -> list[str]:
+    failures = []
+    if reference is None:
+        print("no reference entry to check against; skipping gate")
+        return failures
+    ref_metrics = reference.get("metrics", {})
+    for gate in gates:
+        ref = ref_metrics.get(gate)
+        got = measured.get(gate)
+        if ref is None or got is None:
+            continue
+        floor = ref * (1.0 - REGRESSION_TOLERANCE)
+        verdict = "ok" if got >= floor else "REGRESSION"
+        print(f"gate {gate}: {got:,.0f} ops/s vs reference {ref:,.0f} "
+              f"({reference.get('label')}, floor {floor:,.0f}) -> {verdict}")
+        if got < floor:
+            failures.append(gate)
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ops", type=int, default=1_000_000,
+                        help="operations per round (default 1000000)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="rounds; best compile/replay time is kept")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 50000 ops, 2 rounds")
+    parser.add_argument("--label", default="",
+                        help="entry label (default: quick/full + date)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="trajectory JSON to append to")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on >25%% regression of the gated rates "
+                             "against the committed reference entry")
+    parser.add_argument("--gate", default=",".join(GATES),
+                        help="comma-separated metric names the --check gates")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="measure and print, do not touch the file")
+    args = parser.parse_args(argv)
+
+    n_ops = 50_000 if args.quick else args.ops
+    rounds = 2 if args.quick else args.rounds
+    mode = "quick" if args.quick else "full"
+    print(f"compiling + replaying {n_ops:,} ops x {rounds} rounds "
+          f"({mode} mode)")
+    measured = measure(n_ops, rounds)
+
+    doc = load(args.out)
+    failures = []
+    if args.check:
+        failures = check(measured, reference_entry(doc["entries"], n_ops),
+                         [g for g in args.gate.split(",") if g])
+
+    if not args.dry_run:
+        doc["entries"].append({
+            "label": args.label or
+            f"{mode} {datetime.date.today().isoformat()}",
+            "date": datetime.date.today().isoformat(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "n_ops": n_ops,
+            "rounds": rounds,
+            "metrics": measured,
+        })
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"appended entry #{len(doc['entries'])} to {args.out}")
+
+    if failures:
+        print(f"trace-compile gate FAILED for: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

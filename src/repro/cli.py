@@ -3,6 +3,10 @@
 Subcommands:
 
 * ``generate`` — synthesize a workload trace to .npz/.csv
+* ``trace``    — compiled-trace tooling: ``trace compile`` packs a
+  workload or .npz/.csv trace into the mmap-able columnar format
+  (``docs/traces.md``) chunk-by-chunk in bounded memory; ``trace
+  info`` summarizes a compiled directory
 * ``analyze``  — print trace statistics (the Fig 1 table)
 * ``simulate`` — replay a trace/workload under one policy
 * ``compare``  — replay under several policies and rank them
@@ -34,6 +38,10 @@ from repro.traces import (generate as generate_trace, get_profile, load_csv,
 
 
 def _load_trace(path: str):
+    from repro.traces import CompiledTrace, is_compiled_trace
+
+    if is_compiled_trace(path):
+        return CompiledTrace(path)
     if path.endswith(".csv"):
         return load_csv(path)
     return load_npz(path)
@@ -49,9 +57,12 @@ def _trace_from_args(args) -> "object":
 
 
 def _add_trace_args(sub: argparse.ArgumentParser) -> None:
-    sub.add_argument("--trace", help="trace file (.npz/.csv); otherwise synthesize")
+    sub.add_argument("--trace", help="trace file (.npz/.csv) or compiled "
+                                     "trace directory; otherwise synthesize")
     sub.add_argument("--workload", default="etc",
-                     help="workload profile (etc/app/usr/sys/var)")
+                     help="workload profile (etc/app/usr/sys/var, or the "
+                          "Table V zoo: twitter-cache, twitter-cache15, "
+                          "zippydb, udb, rtdata, dedup)")
     sub.add_argument("--requests", type=int, default=500_000,
                      help="requests to synthesize")
     sub.add_argument("--scale", type=float, default=0.2,
@@ -90,7 +101,59 @@ def cmd_generate(args) -> int:
     return 0
 
 
+def cmd_trace_compile(args) -> int:
+    from time import perf_counter
+
+    from repro.traces import compile_csv, compile_synthetic, compile_trace
+
+    started = perf_counter()
+    if args.trace:
+        if args.trace.endswith(".csv"):
+            # CSV chunks buffer Request objects; keep them small even
+            # when the (array-sized) --chunk is large.
+            compiled = compile_csv(args.trace, args.out,
+                                   chunk=min(args.chunk, 1 << 16))
+        else:
+            compiled = compile_trace(load_npz(args.trace), args.out)
+    else:
+        profile = get_profile(args.workload)
+        if args.scale != 1.0:
+            profile = profile.scaled(args.scale)
+        compiled = compile_synthetic(profile, args.requests, args.out,
+                                     seed=args.seed, chunk=args.chunk)
+    elapsed = perf_counter() - started
+    rate = len(compiled) / elapsed if elapsed else 0.0
+    print(f"compiled {len(compiled):,} requests "
+          f"({fmt_bytes(compiled.nbytes)} columnar) to {args.out} "
+          f"in {elapsed:.1f}s ({rate:,.0f} ops/s)")
+    return 0
+
+
+def cmd_trace_info(args) -> int:
+    from repro.traces import CompiledTrace
+    from repro.traces.compile import describe
+
+    info = describe(CompiledTrace(args.path))
+    print(f"compiled trace    {info['path']}")
+    print(f"rows              {info['rows']:,}")
+    print(f"columnar bytes    {fmt_bytes(info['bytes'])}")
+    print(f"gets/sets/deletes {info['gets']:,} / {info['sets']:,} / "
+          f"{info['deletes']:,}")
+    print(f"mean penalty      {fmt_seconds(info['mean_penalty'])}")
+    print(f"max penalty       {fmt_seconds(info['max_penalty'])}")
+    print(f"total value bytes {fmt_bytes(info['total_value_bytes'])}")
+    for key in sorted(info["meta"]):
+        print(f"meta.{key:<13} {info['meta'][key]}")
+    return 0
+
+
 def cmd_analyze(args) -> int:
+    from repro.traces import is_compiled_trace
+
+    if is_compiled_trace(args.trace):
+        # Whole-trace statistics would materialize the columns; the
+        # windowed summary stays bounded no matter the trace size.
+        return cmd_trace_info(argparse.Namespace(path=args.trace))
     trace = _load_trace(args.trace)
     print(analyze_trace(trace).format())
     return 0
@@ -481,6 +544,30 @@ def build_parser() -> argparse.ArgumentParser:
     g.add_argument("--seed", type=int, default=0)
     g.add_argument("--out", required=True, help="output .npz or .csv path")
     g.set_defaults(func=cmd_generate)
+
+    t = subs.add_parser("trace", help="compiled-trace tooling")
+    tsubs = t.add_subparsers(dest="trace_command", required=True)
+    tc = tsubs.add_parser(
+        "compile",
+        help="pack a trace into the mmap-able columnar format "
+             "(streams chunk-by-chunk; never holds the whole trace)")
+    tc.add_argument("--trace",
+                    help="source .npz/.csv trace; otherwise synthesize")
+    tc.add_argument("--workload", default="etc",
+                    help="workload profile to synthesize (incl. the "
+                         "Table V zoo)")
+    tc.add_argument("--requests", type=int, default=1_000_000)
+    tc.add_argument("--scale", type=float, default=1.0,
+                    help="key-universe scale factor for synthesis")
+    tc.add_argument("--seed", type=int, default=0)
+    tc.add_argument("--chunk", type=int, default=1 << 20,
+                    help="rows generated/written per chunk")
+    tc.add_argument("--out", required=True,
+                    help="output directory (e.g. etc.ctrc)")
+    tc.set_defaults(func=cmd_trace_compile)
+    ti = tsubs.add_parser("info", help="summarize a compiled trace")
+    ti.add_argument("path", help="compiled trace directory")
+    ti.set_defaults(func=cmd_trace_info)
 
     a = subs.add_parser("analyze", help="summarize a trace file")
     a.add_argument("trace")

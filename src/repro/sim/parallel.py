@@ -13,6 +13,10 @@ is the one engine under all of them:
   through POSIX shared memory (:class:`repro.traces.record.SharedTrace`)
   instead of pickling them per task, then runs tasks on a
   ``multiprocessing`` pool;
+* a :class:`~repro.traces.compile.CompiledTrace` needs no shared-memory
+  copy at all: it pickles by path, every worker mmaps the same files
+  (one physical copy in the page cache), and each cell replays through
+  the simulator's streaming window iterator in bounded memory;
 * a task that raises (or a worker that dies) is recorded as a
   :class:`GridFailure` on the merged result — the rest of the sweep
   still completes and is returned.
@@ -113,9 +117,13 @@ def default_jobs() -> int:
 default_workers = default_jobs
 
 
-def _run_one(trace: Trace, spec: ExperimentSpec,
+def _run_one(trace, spec: ExperimentSpec,
              policy: str) -> SimulationResult:
-    """One grid cell — the exact replay the serial runner performs."""
+    """One grid cell — the exact replay the serial runner performs.
+
+    ``trace`` is any :func:`repro.sim.simulator.simulate` source (an
+    in-memory trace, or a streaming compiled trace).
+    """
     cache = spec.build_cache(policy)
     return simulate(trace, cache, hit_time=spec.hit_time,
                     window_gets=spec.window_gets,
@@ -124,17 +132,21 @@ def _run_one(trace: Trace, spec: ExperimentSpec,
 
 # -- worker-side state -------------------------------------------------------
 # One attach per worker process: the initializer rebuilds the trace from
-# the shared-memory descriptor (or adopts a directly shipped trace when
-# shared memory is unavailable) and tasks reference it by global.
-_worker_trace: Trace | None = None
+# the shared-memory descriptor (or adopts a directly shipped trace —
+# a path-pickled CompiledTrace, or a whole Trace when shared memory is
+# unavailable) and tasks reference it by global.
+_worker_trace = None
 
 
-def _worker_init(payload: TraceDescriptor | Trace) -> None:
+def _worker_init(payload) -> None:
     global _worker_trace
     if isinstance(payload, TraceDescriptor):
         disable_shm_tracking()
         _worker_trace = attach_shared_trace(payload)
-    else:  # pragma: no cover - fallback transport, exercised on odd hosts
+    else:
+        # A CompiledTrace arrives here freshly re-opened by unpickling
+        # (mmap views, no data copied); a plain Trace is the pickled
+        # fallback transport for odd hosts without /dev/shm.
         _worker_trace = payload
 
 
@@ -157,13 +169,17 @@ def _build_tasks(specs: list[ExperimentSpec],
     return tasks
 
 
-def run_grid(trace: Trace, specs: list[ExperimentSpec],
+def run_grid(trace, specs: list[ExperimentSpec],
              policies: list[str], jobs: int | None = 1,
              progress=None) -> GridResult:
     """Replay ``trace`` under every (spec, policy) combination.
 
     Args:
-        trace: the workload to replay (shared across all cells).
+        trace: the workload to replay (shared across all cells) — a
+            :class:`Trace`, or a
+            :class:`~repro.traces.compile.CompiledTrace` whose cells
+            stream windows from the mmap (no shared-memory copy, no
+            whole-trace materialization in any process).
         specs: experiment definitions; ``spec.name`` must be unique.
         policies: policy names, instantiated fresh per cell.
         jobs: worker processes; ``1`` (default) runs serially in-process
@@ -213,45 +229,64 @@ def run_grid(trace: Trace, specs: list[ExperimentSpec],
                       elapsed_seconds=perf_counter() - started)
 
 
-def _run_grid_pool(trace: Trace, tasks: list[GridTask], jobs: int,
+def _run_grid_pool(trace, tasks: list[GridTask], jobs: int,
                    finish) -> None:
     """Fan tasks over a process pool; record per-task failures."""
-    try:
-        shared = SharedTrace(trace)
-        payload: TraceDescriptor | Trace = shared.descriptor
-    except Exception:  # pragma: no cover - no /dev/shm etc.
-        shared = None
-        payload = trace  # pickled once per worker, still not per task
+    shared = None
+    from repro.traces.compile import CompiledTrace
+    if isinstance(trace, CompiledTrace):
+        # Pickles by path; every worker mmaps the same column files.
+        payload = trace
+    else:
+        try:
+            shared = SharedTrace(trace)
+            payload = shared.descriptor
+        except Exception:  # pragma: no cover - no /dev/shm etc.
+            payload = trace  # pickled once per worker, still not per task
     try:
         with ProcessPoolExecutor(max_workers=jobs,
                                  initializer=_worker_init,
                                  initargs=(payload,)) as pool:
             futures = {pool.submit(_worker_run, t.spec, t.policy): t
                        for t in tasks}
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    task = futures[fut]
-                    try:
-                        finish(task, fut.result(), None)
-                    except BrokenProcessPool as exc:
-                        # A worker died hard; every unfinished cell is
-                        # recorded and the completed ones are kept.
-                        finish(task, None, GridFailure(
-                            task.spec.name, task.policy, repr(exc)))
-                        for fut2 in pending:
-                            t2 = futures[fut2]
-                            finish(t2, None, GridFailure(
-                                t2.spec.name, t2.policy, repr(exc)))
-                        return
-                    except Exception as exc:  # noqa: BLE001
-                        finish(task, None, GridFailure(
-                            task.spec.name, task.policy, repr(exc),
-                            traceback.format_exc()))
+            _drain_futures(futures, finish)
     finally:
         if shared is not None:
             shared.close()
+
+
+def _drain_futures(futures, finish) -> None:
+    """Record every future in ``futures`` (a future → task mapping).
+
+    Tasks finish in completion batches.  When a worker dies hard
+    (``BrokenProcessPool``), every *other* future in the same completed
+    batch is still recorded — successes included — before the
+    still-pending cells are failed; a batch-mate's crash must not make
+    a completed cell vanish from the merged grid.
+    """
+    pending = set(futures)
+    while pending:
+        done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        broken = None
+        for fut in done:
+            task = futures[fut]
+            try:
+                finish(task, fut.result(), None)
+            except BrokenProcessPool as exc:
+                broken = exc
+                finish(task, None, GridFailure(
+                    task.spec.name, task.policy, repr(exc)))
+            except Exception as exc:  # noqa: BLE001
+                finish(task, None, GridFailure(
+                    task.spec.name, task.policy, repr(exc),
+                    traceback.format_exc()))
+        if broken is not None:
+            # The pool is gone; fail the cells that never ran.
+            for fut in pending:
+                task = futures[fut]
+                finish(task, None, GridFailure(
+                    task.spec.name, task.policy, repr(broken)))
+            return
 
 
 # -- sweep-shaped conveniences ----------------------------------------------

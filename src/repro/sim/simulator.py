@@ -6,6 +6,14 @@ re-installing the item (fill-on-miss); SET/DELETE trace records are
 applied directly.  Hit ratio and average service time are collected per
 window of GETs, with per-class and per-queue slab snapshots at each
 window close (the Figs 3/4 series).
+
+Replay sources: an in-memory :class:`~repro.traces.record.Trace`
+(columns convert to flat lists once — the PR-4 hot path), or any
+*streaming* source — a :class:`~repro.traces.compile.CompiledTrace` or
+an iterable of bounded :class:`Trace` windows — whose rows feed the
+same loops window-by-window, so a 100M-op compiled trace replays with
+resident memory bounded by the window, and results identical to the
+whole-trace replay.
 """
 
 from __future__ import annotations
@@ -18,6 +26,34 @@ from repro.cache.cache import SlabCache
 from repro.sim.metrics import MetricsCollector, WindowStats
 from repro.sim.service import ServiceTimeModel
 from repro.traces.record import Trace
+
+
+def _windowed_rows(source, service):
+    """Rows from a streaming source, one bounded window at a time.
+
+    Each window's columns convert to plain lists (the same per-row
+    scalars the whole-trace path produces), get consumed, and are freed
+    before the next window — peak memory is one window, and per-window
+    ``miss_array`` is element-wise so results are bit-identical.
+    """
+    windows = (source.iter_windows() if hasattr(source, "iter_windows")
+               else iter(source))
+    for w in windows:
+        yield from zip(w.ops.tolist(), w.keys.tolist(),
+                       w.key_sizes.tolist(), w.value_sizes.tolist(),
+                       w.penalties.tolist(),
+                       service.miss_array(w.penalties))
+
+
+def _trace_rows(trace, service):
+    """The replay row stream for any trace source run() accepts."""
+    if isinstance(trace, Trace):
+        # Whole-trace fast path: one tolist per column, a single zip.
+        return zip(trace.ops.tolist(), trace.keys.tolist(),
+                   trace.key_sizes.tolist(), trace.value_sizes.tolist(),
+                   trace.penalties.tolist(),
+                   service.miss_array(trace.penalties))
+    return _windowed_rows(trace, service)
 
 
 @dataclass
@@ -103,8 +139,14 @@ class Simulator:
         return (self.cache.class_slab_distribution(),
                 self.cache.slab_distribution())
 
-    def run(self, trace: Trace) -> SimulationResult:
-        """Replay ``trace`` to completion and return the result.
+    def run(self, trace) -> SimulationResult:
+        """Replay a trace source to completion and return the result.
+
+        ``trace`` is a :class:`Trace`, a
+        :class:`~repro.traces.compile.CompiledTrace`, or an iterable of
+        bounded :class:`Trace` windows; streaming sources replay with
+        memory bounded by the window and results identical to the
+        whole-trace replay.
 
         Each run gets a fresh :class:`MetricsCollector`: reusing the
         one from a previous run would carry its windows and totals into
@@ -153,10 +195,7 @@ class Simulator:
         # loops below unpack scalars straight out of one zip — no
         # per-request tuple building, no per-miss method call.
         started = time.perf_counter()
-        rows = zip(trace.ops.tolist(), trace.keys.tolist(),
-                   trace.key_sizes.tolist(), trace.value_sizes.tolist(),
-                   trace.penalties.tolist(),
-                   service.miss_array(trace.penalties))
+        rows = _trace_rows(trace, service)
 
         # Loop bodies selected once: the fault-aware replay when an
         # injector is attached, the timeline-aware replay when only a
@@ -373,11 +412,15 @@ class Simulator:
                 tracer.end(root, tick)
 
 
-def simulate(trace: Trace, cache: SlabCache, *,
+def simulate(trace, cache: SlabCache, *,
              hit_time: float = 1e-4, window_gets: int = 100_000,
              fill_on_miss: bool = True, obs=None, faults=None,
              timeline=None, tracing=None) -> SimulationResult:
-    """One-shot convenience wrapper around :class:`Simulator`."""
+    """One-shot convenience wrapper around :class:`Simulator`.
+
+    ``trace`` accepts every :meth:`Simulator.run` source, including
+    streaming :class:`~repro.traces.compile.CompiledTrace` replays.
+    """
     sim = Simulator(cache, ServiceTimeModel(hit_time=hit_time),
                     window_gets=window_gets, fill_on_miss=fill_on_miss,
                     obs=obs, faults=faults, timeline=timeline,

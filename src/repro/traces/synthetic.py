@@ -92,11 +92,20 @@ class SyntheticTraceGenerator:
         draw fresh sizes and penalties.
         """
         p = self.profile
+        shift = None
         if p.churn_interval > 0:
             epochs = positions // p.churn_interval
             shift = epochs * max(1, int(p.churn_fraction * p.num_keys))
-            return (ranks + shift).astype(np.int64)
-        return ranks.astype(np.int64)
+        if p.drift_per_request > 0.0:
+            # Continuous glide: the mapping advances fractionally per
+            # request, so the hot set drifts instead of (or on top of)
+            # the stepwise churn rotation.
+            glide = (positions.astype(np.float64)
+                     * p.drift_per_request).astype(np.int64)
+            shift = glide if shift is None else shift + glide
+        if shift is None:
+            return ranks.astype(np.int64)
+        return (ranks + shift).astype(np.int64)
 
     def generate(self, n: int, start_position: int = 0) -> Trace:
         """Produce ``n`` requests (deterministic in seed and position)."""
@@ -131,8 +140,17 @@ class SyntheticTraceGenerator:
         value_sizes = sample_sizes(p.value_sizes, keys, self.seed + 23)
         penalties = self.penalty_model.penalties_for(keys, key_sizes + value_sizes)
 
-        timestamps = np.cumsum(
-            rng.exponential(self.mean_interarrival, n)) \
+        gaps = rng.exponential(self.mean_interarrival, n)
+        if p.diurnal_period > 0 and p.diurnal_amplitude > 0:
+            # Load curve: request *rate* follows 1 + A*sin(2*pi*t/T),
+            # so gaps compress at the peak and stretch in the trough.
+            # Phase comes from the flat-load clock (position * mean
+            # gap), keeping chunked generation position-anchored.
+            t = positions * self.mean_interarrival
+            rate = 1.0 + p.diurnal_amplitude * np.sin(
+                2.0 * np.pi * t / p.diurnal_period)
+            gaps = gaps / rate
+        timestamps = np.cumsum(gaps) \
             + start_position * self.mean_interarrival
 
         return Trace(ops, keys, key_sizes.astype(np.int32),

@@ -57,6 +57,15 @@ class WorkloadProfile:
             the paper's 100 ms default.
         churn_interval: requests between popularity rotations (0 = none).
         churn_fraction: fraction of the hot set retired per rotation.
+        drift_per_request: continuous key-popularity drift — the rank →
+            key-id mapping advances by this many ids per request, so the
+            hot set glides instead of (or on top of) the stepwise churn
+            rotation.  0 disables it.
+        diurnal_period: seconds per load cycle (0 = flat load).  The
+            request *rate* follows ``1 + diurnal_amplitude *
+            sin(2*pi*t/period)``, compressing and stretching timestamp
+            gaps through the day while the request mix is unchanged.
+        diurnal_amplitude: peak-to-mean load swing, in [0, 1).
     """
 
     name: str
@@ -75,6 +84,9 @@ class WorkloadProfile:
     penalty_unknown_fraction: float = 0.1
     churn_interval: int = 0
     churn_fraction: float = 0.1
+    drift_per_request: float = 0.0
+    diurnal_period: float = 0.0
+    diurnal_amplitude: float = 0.0
 
     def __post_init__(self) -> None:
         if self.num_keys <= 0:
@@ -90,6 +102,12 @@ class WorkloadProfile:
             raise ValueError("penalty_unknown_fraction must be in [0, 1]")
         if self.churn_interval < 0 or not 0.0 <= self.churn_fraction <= 1.0:
             raise ValueError("invalid churn parameters")
+        if self.drift_per_request < 0:
+            raise ValueError("drift_per_request must be >= 0")
+        if self.diurnal_period < 0:
+            raise ValueError("diurnal_period must be >= 0")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
 
     def scaled(self, factor: float) -> "WorkloadProfile":
         """Shrink/grow the key universe (for scaled-down experiments)."""
@@ -193,8 +211,152 @@ VAR = WorkloadProfile(
     penalty_unknown_fraction=0.2,
 )
 
+# ---------------------------------------------------------------------------
+# The Table V zoo ("Learning Slab Classes to Alleviate Memory Holes in
+# Memcached", arXiv 2009.04403): six additional production-shaped
+# workload families.  As with the Facebook pools, the raw traces are
+# proprietary; each profile encodes the published marginal
+# characteristics — op mix, size spread, skew, churn — plus the diurnal
+# load curves and popularity drift that only matter at 10^7+ request
+# scale (the compiled-trace replays).
+# ---------------------------------------------------------------------------
+
+#: Twitter production cache (the read-dominated cluster shape from the
+#: OSDI'20 trace study): tiny values, extreme skew, strong diurnality.
+TWITTER_CACHE = WorkloadProfile(
+    name="twitter-cache",
+    num_keys=1_000_000,
+    zipf_alpha=1.2,
+    get_fraction=0.97, set_fraction=0.03, delete_fraction=0.0,
+    cold_fraction=0.02,
+    key_sizes=SizeMixture(((0.6, 20, 45), (0.4, 40, 90))),
+    value_sizes=SizeMixture((
+        (0.55, 20, 80),
+        (0.30, 80, 400),
+        (0.13, 400, 4_000),
+        (0.02, 4_000, 50_000),
+    )),
+    penalty_correlation=0.2,
+    penalty_sigma=1.5,
+    penalty_unknown_fraction=0.1,
+    churn_interval=2_000_000,
+    churn_fraction=0.03,
+    drift_per_request=0.002,
+    diurnal_period=86_400.0,
+    diurnal_amplitude=0.5,
+)
+
+#: Twitter "cluster 15" shape: write-heavy side store with mid-size
+#: values and a fast-moving hot set.
+TWITTER_CACHE15 = WorkloadProfile(
+    name="twitter-cache15",
+    num_keys=400_000,
+    zipf_alpha=0.9,
+    get_fraction=0.55, set_fraction=0.44, delete_fraction=0.01,
+    cold_fraction=0.08,
+    key_sizes=SizeMixture(((1.0, 25, 70),)),
+    value_sizes=SizeMixture((
+        (0.35, 60, 300),
+        (0.45, 300, 3_000),
+        (0.20, 3_000, 30_000),
+    )),
+    penalty_correlation=0.3,
+    penalty_sigma=1.6,
+    penalty_unknown_fraction=0.12,
+    churn_interval=800_000,
+    churn_fraction=0.10,
+    drift_per_request=0.01,
+    diurnal_period=86_400.0,
+    diurnal_amplitude=0.35,
+)
+
+#: ZippyDB — RocksDB-backed distributed KV: GET-heavy, few-hundred-byte
+#: objects, moderate skew, high recompute cost on miss.
+ZIPPYDB = WorkloadProfile(
+    name="zippydb",
+    num_keys=600_000,
+    zipf_alpha=0.95,
+    get_fraction=0.78, set_fraction=0.19, delete_fraction=0.03,
+    cold_fraction=0.04,
+    key_sizes=SizeMixture(((1.0, 30, 80),)),
+    value_sizes=SizeMixture((
+        (0.50, 100, 500),
+        (0.35, 500, 5_000),
+        (0.15, 2_000, 40_000),
+    )),
+    penalty_correlation=0.4,
+    penalty_sigma=1.8,
+    penalty_unknown_fraction=0.08,
+    churn_interval=1_500_000,
+    churn_fraction=0.05,
+    diurnal_period=86_400.0,
+    diurnal_amplitude=0.25,
+)
+
+#: UDB — the MySQL-fronting cache tier: mixed sizes spanning four
+#: decades (schema rows to serialized blobs), expensive misses.
+UDB = WorkloadProfile(
+    name="udb",
+    num_keys=500_000,
+    zipf_alpha=1.05,
+    get_fraction=0.90, set_fraction=0.10, delete_fraction=0.0,
+    cold_fraction=0.05,
+    key_sizes=SizeMixture(((0.7, 16, 48), (0.3, 48, 120))),
+    value_sizes=SizeMixture((
+        (0.30, 30, 300),
+        (0.30, 300, 3_000),
+        (0.25, 3_000, 30_000),
+        (0.15, 30_000, 300_000),
+    )),
+    penalty_correlation=0.45,
+    penalty_sigma=2.0,
+    penalty_unknown_fraction=0.06,
+    churn_interval=1_000_000,
+    churn_fraction=0.04,
+    diurnal_period=86_400.0,
+    diurnal_amplitude=0.4,
+)
+
+#: RTDATA — real-time ingest: update-dominated, small fresh values, hot
+#: set glides continuously (yesterday's keys go cold fast).
+RTDATA = WorkloadProfile(
+    name="rtdata",
+    num_keys=250_000,
+    zipf_alpha=0.8,
+    get_fraction=0.40, set_fraction=0.58, delete_fraction=0.02,
+    cold_fraction=0.10,
+    key_sizes=SizeMixture(((1.0, 24, 60),)),
+    value_sizes=SizeMixture(((0.8, 40, 400), (0.2, 400, 4_000))),
+    penalty_correlation=0.1,
+    penalty_sigma=1.2,
+    penalty_unknown_fraction=0.2,
+    churn_interval=300_000,
+    churn_fraction=0.15,
+    drift_per_request=0.05,
+    diurnal_period=43_200.0,
+    diurnal_amplitude=0.3,
+)
+
+#: Dedup — fingerprint lookups: fixed-size keys and records, weak skew
+#: (content-addressed accesses are nearly uniform), scan-like drift.
+DEDUP = WorkloadProfile(
+    name="dedup",
+    num_keys=2_000_000,
+    zipf_alpha=0.6,
+    get_fraction=0.85, set_fraction=0.15, delete_fraction=0.0,
+    cold_fraction=0.15,
+    key_sizes=SizeMixture(((1.0, 20, 20),)),
+    value_sizes=SizeMixture(((1.0, 44, 64),)),
+    penalty_correlation=0.0,
+    penalty_sigma=0.7,
+    penalty_unknown_fraction=0.05,
+    drift_per_request=0.02,
+)
+
 PROFILES: dict[str, WorkloadProfile] = {
-    p.name: p for p in (ETC, APP, USR, SYS, VAR)
+    p.name: p for p in (ETC, APP, USR, SYS, VAR,
+                        TWITTER_CACHE, TWITTER_CACHE15, ZIPPYDB, UDB,
+                        RTDATA, DEDUP)
 }
 
 

@@ -1,13 +1,19 @@
 """Tests for the parallel experiment engine (run_grid and wrappers)."""
 
+import os
+import time
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
 import pytest
 
 from repro._util import MIB
 from repro.sim import ExperimentSpec, run_comparison
-from repro.sim.parallel import (GridFailure, default_jobs, default_workers,
+from repro.sim.parallel import (GridFailure, GridTask, _drain_futures,
+                                default_jobs, default_workers,
                                 run_comparison_parallel, run_grid, size_specs,
                                 sweep_parallel)
-from repro.traces import ETC, generate
+from repro.traces import ETC, compile_trace, generate
 
 
 @pytest.fixture(scope="module")
@@ -103,6 +109,83 @@ class TestRunGrid:
         for name in self.POLICIES:
             assert result_fingerprint(cmp.results[name]) \
                 == result_fingerprint(grid.results[("par", name)]), name
+
+
+class TestCompiledTraceGrid:
+    def test_compiled_grid_matches_in_memory(self, trace, spec, tmp_path):
+        compiled = compile_trace(trace, tmp_path / "grid.ctrc")
+        compiled.window = 4_096  # several windows per cell
+        specs = size_specs(spec, [1 * MIB, 2 * MIB])
+        policies = ["memcached", "pama"]
+        baseline = run_grid(trace, specs, policies, jobs=1)
+        streamed = run_grid(compiled, specs, policies, jobs=2)
+        assert baseline.ok and streamed.ok
+        assert list(baseline.results) == list(streamed.results)
+        for key in baseline.results:
+            assert result_fingerprint(baseline.results[key]) \
+                == result_fingerprint(streamed.results[key]), key
+
+
+class _CrashSpec(ExperimentSpec):
+    """Spec whose ``die`` policy kills the worker process outright."""
+
+    def build_cache(self, policy):
+        if policy == "die":
+            time.sleep(0.3)  # let batch-mates finish first
+            os._exit(13)
+        return super().build_cache(policy)
+
+
+class TestBrokenPoolDrain:
+    """Regression: a BrokenProcessPool in one future of a completed
+    batch must not drop the *other* completed futures in that batch
+    (pre-fix, the drain loop bailed out without recording them)."""
+
+    @staticmethod
+    def _task(name):
+        return GridTask(0, ExperimentSpec(name=name, cache_bytes=MIB),
+                        "memcached")
+
+    def test_batch_mate_of_broken_future_is_recorded(self, monkeypatch):
+        f_ok, f_broken, f_pending = Future(), Future(), Future()
+        f_ok.set_result("completed-result")
+        f_broken.set_exception(BrokenProcessPool("worker died"))
+        futures = {f_broken: self._task("broken"),
+                   f_ok: self._task("ok"),
+                   f_pending: self._task("pending")}
+
+        # Deterministic batch: the broken future is *first* in the done
+        # set, with a genuinely completed batch-mate behind it.
+        def fake_wait(pending, return_when=None):
+            assert f_pending in pending
+            return [f_broken, f_ok], {f_pending}
+
+        monkeypatch.setattr("repro.sim.parallel.wait", fake_wait)
+
+        recorded = {}
+        _drain_futures(futures, lambda t, r, f: recorded.update(
+            {t.spec.name: (r, f)}))
+
+        assert set(recorded) == {"broken", "ok", "pending"}
+        result, failure = recorded["ok"]
+        assert result == "completed-result" and failure is None
+        assert isinstance(recorded["broken"][1], GridFailure)
+        assert isinstance(recorded["pending"][1], GridFailure)
+        assert "BrokenProcessPool" in recorded["pending"][1].error
+
+    def test_worker_death_fails_cell_not_sweep(self, spec):
+        trace = generate(ETC.scaled(0.01), 500, seed=7)
+        crash = _CrashSpec(name="crash", cache_bytes=2 * MIB,
+                           slab_size=64 * 1024)
+        grid = run_grid(trace, [crash], ["memcached", "die"], jobs=2)
+        assert not grid.ok
+        # Every cell is accounted for — none silently vanished.
+        assert set(grid.results) | set(grid.failures) \
+            == {("crash", "memcached"), ("crash", "die")}
+        assert "BrokenProcessPool" in grid.failures[("crash", "die")].error
+        # The memcached cell finished well before the 0.3 s crash, so
+        # the fixed drain must have kept its completed result.
+        assert ("crash", "memcached") in grid.results
 
 
 class TestParallelWrappers:

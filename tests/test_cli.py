@@ -169,3 +169,34 @@ class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTraceCompile:
+    def test_compile_synthetic_info_and_simulate(self, tmp_path, capsys):
+        out = tmp_path / "zoo.ctrc"
+        assert main(["trace", "compile", "--workload", "zippydb",
+                     "--scale", "0.01", "--requests", "4000",
+                     "--out", str(out)]) == 0
+        assert "4,000" in capsys.readouterr().out
+
+        assert main(["trace", "info", str(out)]) == 0
+        info = capsys.readouterr().out
+        assert "zippydb" in info and "4,000" in info
+
+        assert main(["simulate", "--trace", str(out),
+                     "--policy", "memcached",
+                     "--cache-size", "2MiB"]) == 0
+        assert "memcached" in capsys.readouterr().out
+
+    def test_compile_from_npz_and_analyze_routes(self, tmp_path, capsys):
+        npz = tmp_path / "t.npz"
+        main(["generate", "--requests", "2000", "--scale", "0.02",
+              "--out", str(npz)])
+        capsys.readouterr()
+        out = tmp_path / "t.ctrc"
+        assert main(["trace", "compile", "--trace", str(npz),
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        # analyze recognizes a compiled directory and describes it.
+        assert main(["analyze", str(out)]) == 0
+        assert "2,000" in capsys.readouterr().out

@@ -97,3 +97,86 @@ class TestGenerator:
     def test_invalid_n(self):
         with pytest.raises(ValueError):
             generate(ETC, 0)
+
+
+class TestDrift:
+    @staticmethod
+    def _profile(drift):
+        return WorkloadProfile(name="drifty", num_keys=1_000,
+                               cold_fraction=0.0, get_fraction=1.0,
+                               set_fraction=0.0, drift_per_request=drift)
+
+    def test_hot_set_glides_continuously(self):
+        gen = SyntheticTraceGenerator(self._profile(0.05), seed=3)
+        early = gen.generate(2_000, start_position=0)
+        late = gen.generate(2_000, start_position=100_000)
+        # 100k requests x 0.05 drift = 5000-id glide: disjoint hot sets.
+        assert late.keys.min() >= early.keys.max()
+        assert np.median(late.keys) > np.median(early.keys) + 4_000
+
+    def test_zero_drift_is_stationary(self):
+        gen = SyntheticTraceGenerator(self._profile(0.0), seed=3)
+        late = gen.generate(2_000, start_position=100_000)
+        assert late.keys.max() < 1_000
+
+    def test_drift_composes_with_churn(self):
+        profile = WorkloadProfile(name="both", num_keys=1_000,
+                                  cold_fraction=0.0, get_fraction=1.0,
+                                  set_fraction=0.0, drift_per_request=0.01,
+                                  churn_interval=5_000, churn_fraction=0.5)
+        gen = SyntheticTraceGenerator(profile, seed=3)
+        late = gen.generate(1_000, start_position=50_000)
+        # churn alone shifts by 10*500=5000; drift adds 50000*0.01=500.
+        assert late.keys.min() >= 5_000 + 500
+
+    def test_chunks_are_position_anchored(self):
+        # Drift and diurnal phase key off the absolute position, so a
+        # chunk depends only on (seed, start_position) — never on what
+        # was generated before it.
+        profile = WorkloadProfile(name="drifty", num_keys=1_000,
+                                  cold_fraction=0.0, get_fraction=1.0,
+                                  set_fraction=0.0, drift_per_request=0.05,
+                                  diurnal_period=0.5,
+                                  diurnal_amplitude=0.6)
+        gen = SyntheticTraceGenerator(profile, seed=9)
+        for p in range(0, 3_000, 1_000):
+            gen.generate(1_000, start_position=p)  # advance through...
+        sequential = gen.generate(1_000, start_position=3_000)
+        direct = SyntheticTraceGenerator(profile, seed=9).generate(
+            1_000, start_position=3_000)
+        assert (sequential.keys == direct.keys).all()
+        assert (sequential.ops == direct.ops).all()
+        assert (sequential.timestamps == direct.timestamps).all()
+
+
+class TestDiurnal:
+    @staticmethod
+    def _profile(amplitude, period):
+        return WorkloadProfile(name="tidal", num_keys=1_000,
+                               cold_fraction=0.0, get_fraction=1.0,
+                               set_fraction=0.0, diurnal_period=period,
+                               diurnal_amplitude=amplitude)
+
+    def test_rate_peaks_compress_gaps(self):
+        # One full cycle over 4000 requests (mean gap 1e-4 -> t in
+        # [0, 0.4), period 0.4).  Peak rate at position ~1000, trough
+        # at ~3000; with A=0.9 the mean gap differs by ~19x.
+        gen = SyntheticTraceGenerator(self._profile(0.9, 0.4), seed=7)
+        gaps = np.diff(gen.generate(4_000).timestamps)
+        peak = gaps[900:1100].mean()
+        trough = gaps[2900:3100].mean()
+        assert trough > 5 * peak
+
+    def test_zero_amplitude_identical_to_flat(self):
+        flat = SyntheticTraceGenerator(
+            self._profile(0.0, 0.4), seed=7).generate(2_000)
+        plain = SyntheticTraceGenerator(
+            WorkloadProfile(name="tidal", num_keys=1_000,
+                            cold_fraction=0.0, get_fraction=1.0,
+                            set_fraction=0.0), seed=7).generate(2_000)
+        assert (flat.timestamps == plain.timestamps).all()
+
+    def test_timestamps_still_monotonic(self):
+        trace = SyntheticTraceGenerator(
+            self._profile(0.95, 0.1), seed=11).generate(5_000)
+        assert (np.diff(trace.timestamps) > 0).all()

@@ -22,9 +22,14 @@ class TestSizeMixture:
             SizeMixture(())
 
 
+FACEBOOK_POOLS = {"etc", "app", "usr", "sys", "var"}
+TABLE_V_ZOO = {"twitter-cache", "twitter-cache15", "zippydb", "udb",
+               "rtdata", "dedup"}
+
+
 class TestWorkloadProfile:
-    def test_five_facebook_pools_defined(self):
-        assert set(PROFILES) == {"etc", "app", "usr", "sys", "var"}
+    def test_facebook_pools_and_zoo_defined(self):
+        assert set(PROFILES) == FACEBOOK_POOLS | TABLE_V_ZOO
 
     def test_get_profile_case_insensitive(self):
         assert get_profile("ETC").name == "etc"
@@ -63,3 +68,60 @@ class TestWorkloadProfile:
             WorkloadProfile(name="x", num_keys=10, zipf_alpha=0.0)
         with pytest.raises(ValueError):
             WorkloadProfile(name="x", num_keys=10, cold_fraction=1.0)
+
+
+class TestWorkloadZoo:
+    """The arXiv 2009.04403 Table-V-style profile set."""
+
+    def test_all_zoo_profiles_resolve(self):
+        for name in TABLE_V_ZOO:
+            assert get_profile(name).name == name
+
+    def test_facebook_pools_stay_flat_load(self):
+        # The PAMA-paper pools predate the zoo knobs; they must keep
+        # generating exactly the traces the pinned experiments replay.
+        for name in FACEBOOK_POOLS:
+            p = get_profile(name)
+            assert p.drift_per_request == 0.0
+            assert p.diurnal_amplitude == 0.0
+
+    def test_twitter_cache_is_read_dominated_and_diurnal(self):
+        p = get_profile("twitter-cache")
+        assert p.get_fraction >= 0.95
+        assert p.zipf_alpha > 1.0  # extreme skew
+        assert p.diurnal_period == 86_400.0 and p.diurnal_amplitude > 0
+
+    def test_twitter_cache15_is_write_heavy(self):
+        assert get_profile("twitter-cache15").set_fraction \
+            > 10 * get_profile("twitter-cache").set_fraction
+
+    def test_udb_values_span_four_decades(self):
+        bands = get_profile("udb").value_sizes.bands
+        lo = min(b[1] for b in bands)
+        hi = max(b[2] for b in bands)
+        assert hi / lo >= 10_000
+
+    def test_rtdata_is_update_dominated_with_fast_drift(self):
+        p = get_profile("rtdata")
+        assert p.set_fraction > p.get_fraction
+        assert p.drift_per_request > 0
+
+    def test_dedup_fixed_keys_weak_skew(self):
+        p = get_profile("dedup")
+        assert p.key_sizes.bands == ((1.0, 20, 20),)
+        assert p.zipf_alpha < 0.7
+        assert p.diurnal_amplitude == 0.0  # content-addressed: no tide
+
+    def test_scaled_preserves_zoo_knobs(self):
+        p = get_profile("twitter-cache").scaled(0.01)
+        assert p.drift_per_request == 0.002
+        assert p.diurnal_period == 86_400.0
+        assert p.diurnal_amplitude == 0.5
+
+    def test_invalid_zoo_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", num_keys=10, drift_per_request=-0.1)
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", num_keys=10, diurnal_period=-1.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", num_keys=10, diurnal_amplitude=1.0)
