@@ -9,6 +9,10 @@ Subcommands:
   info`` summarizes a compiled directory
 * ``analyze``  — print trace statistics (the Fig 1 table)
 * ``simulate`` — replay a trace/workload under one policy
+  (``--tenants`` interleaves several workload profiles into one
+  tenant-tagged trace and replays it under the tenant arbiter)
+* ``tenancy``  — multi-tenant scenario runner: penalty-aware arbiter
+  vs static partitioning (``noisy-neighbor`` etc.; see ``--list``)
 * ``compare``  — replay under several policies and rank them
 * ``cluster``  — replay against multi-node clusters
 * ``obs``      — observability snapshots (dump/diff)
@@ -135,7 +139,9 @@ def cmd_trace_info(args) -> int:
 
     info = describe(CompiledTrace(args.path))
     print(f"compiled trace    {info['path']}")
+    print(f"format            {info['format']}")
     print(f"rows              {info['rows']:,}")
+    print(f"tenants           {info['tenants']}")
     print(f"columnar bytes    {fmt_bytes(info['bytes'])}")
     print(f"gets/sets/deletes {info['gets']:,} / {info['sets']:,} / "
           f"{info['deletes']:,}")
@@ -159,7 +165,56 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _simulate_tenants(args) -> int:
+    """``simulate --tenants``: mix profiles, replay under the arbiter."""
+    from repro.cache import SlabCache, SizeClassConfig
+    from repro.sim.simulator import simulate
+    from repro.tenancy import (TenantArbiter, TenantSpec, mix_tenants,
+                               tenant_configs)
+
+    if args.trace:
+        raise SystemExit("--tenants synthesizes its own tenant-tagged "
+                         "trace and cannot be combined with --trace")
+    names = [n.strip() for n in args.tenants.split(",") if n.strip()]
+    if len(names) < 1:
+        raise SystemExit("--tenants needs at least one workload profile")
+    specs = []
+    for i, name in enumerate(names):
+        label = f"{name}#{i}" if names.count(name) > 1 else name
+        specs.append(TenantSpec(
+            name=label, profile=get_profile(name).scaled(args.scale),
+            reserve_fraction=args.reserve))
+    trace = mix_tenants(specs, args.requests, seed=args.seed)
+    cache_bytes = parse_size(args.cache_size.split(",")[0])
+    slab_bytes = parse_size(args.slab_size)
+    arbiter = TenantArbiter(tenant_configs(specs, cache_bytes // slab_bytes))
+    cache = SlabCache(cache_bytes, arbiter,
+                      SizeClassConfig(slab_size=slab_bytes))
+    result = simulate(trace, cache, hit_time=args.hit_time,
+                      window_gets=args.window)
+    print(f"policy           {arbiter.name} "
+          f"({len(specs)} tenants: {', '.join(s.name for s in specs)})")
+    print(f"cache            {fmt_bytes(cache_bytes)} "
+          f"({cache_bytes // slab_bytes} slabs)")
+    print(f"GETs             {result.total_gets}")
+    print(f"hit ratio        {result.hit_ratio:.4f}")
+    print(f"avg service time {fmt_seconds(result.avg_service_time)}")
+    print(f"weighted service {result.total_weighted_service_time():.3f}s")
+    counts = arbiter.steal_counts()
+    print(f"steals           approved={counts.get('approved', 0)} "
+          f"forced={counts.get('forced', 0)} "
+          f"declined={counts.get('declined', 0)}")
+    for t, m in sorted(result.tenant_metrics.items()):
+        print(f"  tenant {m['name']:>8}: gets={m['gets']} "
+              f"hit_ratio={m['hit_ratio']:.4f} "
+              f"avg_service={fmt_seconds(m['avg_service_time'])} "
+              f"slabs={m['slabs']}")
+    return 0
+
+
 def cmd_simulate(args) -> int:
+    if args.tenants:
+        return _simulate_tenants(args)
     trace = _trace_from_args(args)
     sizes = [parse_size(s) for s in
              (part.strip() for part in args.cache_size.split(","))
@@ -376,6 +431,38 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_tenancy(args) -> int:
+    from repro.tenancy import SCENARIOS, run_scenario
+
+    if args.list:
+        for name, (_builder, desc) in sorted(SCENARIOS.items()):
+            print(f"{name:<20} {desc}")
+        return 0
+    if not args.scenario:
+        print("tenancy: a scenario name is required (or --list)",
+              file=sys.stderr)
+        return 2
+    if args.scenario not in SCENARIOS:
+        print(f"unknown scenario {args.scenario!r}; "
+              f"choose from {sorted(SCENARIOS)}", file=sys.stderr)
+        return 2
+    result = run_scenario(
+        args.scenario, requests=args.requests, seed=args.seed,
+        cache_bytes=parse_size(args.cache_size),
+        slab_bytes=parse_size(args.slab_size), window_gets=args.window,
+        scale=args.scale, steal_margin=args.steal_margin,
+        dump_dir=args.dump_dir)
+    print(result.report())
+    if args.dump_dir:
+        print(f"wrote dump directory {args.dump_dir}", file=sys.stderr)
+    if args.check and result.improvement <= 0:
+        print("tenancy: arbiter did not beat static partitioning "
+              f"(improvement {result.improvement * 100:.2f}%)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.obs.report import render_report
 
@@ -579,6 +666,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_jobs_arg(s)
     s.add_argument("--policy", default="pama", choices=POLICY_NAMES)
     s.add_argument("--chart", action="store_true", help="ASCII chart output")
+    s.add_argument("--tenants",
+                   help="comma-separated workload profiles (e.g. etc,app) "
+                        "to interleave into one tenant-tagged trace and "
+                        "replay under the tenant arbiter; ignores --policy")
+    s.add_argument("--reserve", type=float, default=0.0,
+                   help="(--tenants only) guaranteed slab reserve per "
+                        "tenant as a fraction of total slabs")
     s.set_defaults(func=cmd_simulate)
 
     c = subs.add_parser("compare", help="replay under several policies")
@@ -653,6 +747,33 @@ def build_parser() -> argparse.ArgumentParser:
     x.add_argument("--trace-capacity", type=int, default=1024,
                    help="finished span traces retained (oldest drop off)")
     x.set_defaults(func=cmd_chaos)
+
+    tn = subs.add_parser(
+        "tenancy",
+        help="multi-tenant scenarios: penalty-aware arbiter vs static "
+             "partitioning")
+    tn.add_argument("scenario", nargs="?",
+                    help="scenario name (see --list), e.g. noisy-neighbor")
+    tn.add_argument("--list", action="store_true",
+                    help="list available scenarios and exit")
+    tn.add_argument("--requests", type=int, default=60_000)
+    tn.add_argument("--seed", type=int, default=7)
+    tn.add_argument("--scale", type=float, default=0.05,
+                    help="key-universe scale factor per tenant profile")
+    tn.add_argument("--cache-size", default="8MiB")
+    tn.add_argument("--slab-size", default="64KiB")
+    tn.add_argument("--window", type=int, default=10_000,
+                    help="GETs per metrics window")
+    tn.add_argument("--steal-margin", type=float, default=1.0,
+                    help="cross-tenant steal threshold multiplier "
+                         "(>1 = more conservative stealing)")
+    tn.add_argument("--dump-dir",
+                    help="write the arbiter run's per-tenant timeline as "
+                         "a dump directory `repro-kv report` can render")
+    tn.add_argument("--check", action="store_true",
+                    help="exit 1 unless the arbiter beats static "
+                         "partitioning on total weighted service time")
+    tn.set_defaults(func=cmd_tenancy)
 
     r = subs.add_parser(
         "report",

@@ -96,7 +96,9 @@ def load_dump(dirpath: str) -> dict:
 
 # -- schema validation -----------------------------------------------------
 
-_ROW_REQUIRED = set(SCALAR_FIELDS) | set(NESTED_FIELDS)
+# ``tenants`` is optional: dumps written before the multi-tenant
+# timeline dimension existed must keep validating.
+_ROW_REQUIRED = (set(SCALAR_FIELDS) | set(NESTED_FIELDS)) - {"tenants"}
 _SPAN_REQUIRED = {"span_id", "parent_id", "trace_id", "name", "start_tick",
                   "end_tick", "status", "attrs", "events"}
 
@@ -120,6 +122,8 @@ def validate_dump(dump: dict) -> list[str]:
             errors.append(f"timeline row {i}: hits {row['hits']} exceed "
                           f"gets {row['gets']}")
         for field in NESTED_FIELDS:
+            if field not in row:
+                continue  # optional fields (tenants) may be absent
             if not isinstance(row[field], dict):
                 errors.append(f"timeline row {i}: {field} must be an object")
     ticks = [r.get("tick_start", 0) for r in rows]
@@ -374,6 +378,65 @@ def _timeline_section(rows: list[dict]) -> str:
     return "\n".join(p for p in parts if p)
 
 
+def _tenant_section(rows: list[dict], meta: dict) -> str:
+    """Per-tenant timeline charts (multi-tenant runs only).
+
+    Renders one line per tenant for hit ratio, average service time
+    and miss-penalty mass per window, plus a totals table.  Rows from
+    single-tenant runs carry an empty ``tenants`` cell and the section
+    is omitted entirely.
+    """
+    tenant_ids: set[str] = set()
+    for r in rows:
+        tenant_ids.update(r.get("tenants", {}))
+    if not tenant_ids:
+        return ""
+    names = meta.get("tenants", [])
+
+    def label(tid: str) -> str:
+        idx = int(tid)
+        return names[idx] if idx < len(names) else f"tenant {tid}"
+
+    ordered = sorted(tenant_ids, key=int)
+    xs = [r["tick_start"] for r in rows]
+
+    def cell(r: dict, tid: str) -> dict:
+        return r.get("tenants", {}).get(tid, {})
+
+    parts = ["<h2>Per-tenant timeline</h2>"]
+    parts.append(_line_chart(
+        "Hit ratio per window by tenant", xs,
+        [(label(t), [
+            (c.get("hits", 0) / c["gets"]) if c.get("gets") else 0.0
+            for r in rows for c in (cell(r, t),)]) for t in ordered]))
+    parts.append(_line_chart(
+        "Avg service time per window by tenant (s)", xs,
+        [(label(t), [
+            (c.get("service", 0.0) / c["gets"]) if c.get("gets") else 0.0
+            for r in rows for c in (cell(r, t),)]) for t in ordered]))
+    parts.append(_line_chart(
+        "Miss penalty mass per window by tenant (s)", xs,
+        [(label(t), [cell(r, t).get("penalty", 0.0) for r in rows])
+         for t in ordered]))
+
+    body = []
+    for t in ordered:
+        gets = sum(cell(r, t).get("gets", 0) for r in rows)
+        hits = sum(cell(r, t).get("hits", 0) for r in rows)
+        service = sum(cell(r, t).get("service", 0.0) for r in rows)
+        penalty = sum(cell(r, t).get("penalty", 0.0) for r in rows)
+        body.append(
+            f"<tr><td>{html.escape(label(t))}</td><td>{gets}</td>"
+            f"<td>{_fmt_val(hits / gets if gets else 0.0)}</td>"
+            f"<td>{_fmt_val(service / gets if gets else 0.0)}</td>"
+            f"<td>{_fmt_val(penalty)}</td></tr>")
+    parts.append(
+        "<table><thead><tr><th>tenant</th><th>gets</th><th>hit ratio</th>"
+        "<th>avg service (s)</th><th>penalty mass (s)</th></tr></thead>"
+        "<tbody>" + "".join(body) + "</tbody></table>")
+    return "\n".join(p for p in parts if p)
+
+
 def _migration_summary(rows: list[dict]) -> str:
     if not rows:
         return ""
@@ -474,6 +537,7 @@ def render_html(dump: dict, title: str = "repro-kv run report") -> str:
         _meta_table(meta),
         "<h2>Timeline</h2>",
         _timeline_section(rows),
+        _tenant_section(rows, meta),
         _migration_summary(rows),
         _tail_table(snapshot),
         "<h2>Span waterfalls</h2>",

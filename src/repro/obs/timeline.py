@@ -44,8 +44,10 @@ SCALAR_FIELDS = (
     "decision_count", "eq1_incoming_sum", "eq2_outgoing_sum",
 )
 
-#: nested columns (JSON-encoded in CSV cells).
-NESTED_FIELDS = ("decisions", "class_slabs", "queue_slabs")
+#: nested columns (JSON-encoded in CSV cells).  ``tenants`` maps tenant
+#: id -> per-window {gets, hits, service, penalty} and stays ``{}``
+#: unless the replay loop tags requests with tenants.
+NESTED_FIELDS = ("decisions", "class_slabs", "queue_slabs", "tenants")
 
 
 class JsonlSink:
@@ -155,12 +157,20 @@ class TimelineRecorder:
         self._eq1_sum = 0.0
         self._eq2_sum = 0.0
         self._decision_count = 0
+        #: tenant id -> [gets, hits, service_sum, penalty_sum]
+        self._tenants: dict[int, list] = {}
         self._hist.reset()
 
     # -- per-request accounting (replay loop) ---------------------------
     def record_get(self, tick: int, hit: bool, cost: float,
-                   penalty: float = 0.0) -> None:
-        """One GET outcome at ``tick``; rolls the window when crossed."""
+                   penalty: float = 0.0, tenant: int = -1) -> None:
+        """One GET outcome at ``tick``; rolls the window when crossed.
+
+        ``tenant >= 0`` additionally accumulates the outcome into that
+        tenant's per-window cell (the multi-tenant replay loop passes
+        the request's tenant id; single-tenant loops leave the default
+        and pay nothing).
+        """
         if tick >= self._window_start + self.stride:
             self._close(tick)
         self._gets += 1
@@ -168,8 +178,20 @@ class TimelineRecorder:
         self._hist.record(cost)
         if hit:
             self._hits += 1
+            miss_penalty = 0.0
         elif penalty == penalty:  # miss; skip NaN (unknown penalty)
             self._penalty += penalty
+            miss_penalty = penalty
+        else:
+            miss_penalty = 0.0
+        if tenant >= 0:
+            cell = self._tenants.get(tenant)
+            if cell is None:
+                cell = self._tenants[tenant] = [0, 0, 0.0, 0.0]
+            cell[0] += 1
+            cell[1] += hit
+            cell[2] += cost
+            cell[3] += miss_penalty
 
     def advance(self, tick: int) -> None:
         """A non-GET request at ``tick`` (SET/DELETE): window roll only."""
@@ -243,6 +265,9 @@ class TimelineRecorder:
             "eq2_outgoing_sum": self._eq2_sum,
             "class_slabs": class_slabs,
             "queue_slabs": queue_slabs,
+            "tenants": {str(t): {"gets": c[0], "hits": c[1],
+                                 "service": c[2], "penalty": c[3]}
+                        for t, c in sorted(self._tenants.items())},
         }
 
     def _downsample(self) -> None:
@@ -288,6 +313,13 @@ def merge_rows(a: dict, b: dict) -> dict:
     decisions = dict(a["decisions"])
     for outcome, n in b["decisions"].items():
         decisions[outcome] = decisions.get(outcome, 0) + n
+    # ``tenants`` may be absent in rows from pre-tenancy dumps.
+    tenants = {t: dict(cell) for t, cell in a.get("tenants", {}).items()}
+    for t, cell in b.get("tenants", {}).items():
+        merged_cell = tenants.setdefault(
+            t, {"gets": 0, "hits": 0, "service": 0.0, "penalty": 0.0})
+        for k, v in cell.items():
+            merged_cell[k] = merged_cell.get(k, 0) + v
     return {
         "window": a["window"],
         "tick_start": a["tick_start"],
@@ -309,6 +341,7 @@ def merge_rows(a: dict, b: dict) -> dict:
         "eq2_outgoing_sum": a["eq2_outgoing_sum"] + b["eq2_outgoing_sum"],
         "class_slabs": b["class_slabs"],
         "queue_slabs": b["queue_slabs"],
+        "tenants": {t: tenants[t] for t in sorted(tenants)},
     }
 
 

@@ -56,6 +56,29 @@ def _trace_rows(trace, service):
     return _windowed_rows(trace, service)
 
 
+def _windowed_rows_tenants(source, service):
+    """Tenant-tagged rows from a streaming source (7th column)."""
+    windows = (source.iter_windows() if hasattr(source, "iter_windows")
+               else iter(source))
+    for w in windows:
+        yield from zip(w.ops.tolist(), w.keys.tolist(),
+                       w.key_sizes.tolist(), w.value_sizes.tolist(),
+                       w.penalties.tolist(),
+                       service.miss_array(w.penalties),
+                       w.tenants.tolist())
+
+
+def _trace_rows_tenants(trace, service):
+    """Row stream with the tenant id as a 7th per-row scalar."""
+    if isinstance(trace, Trace):
+        return zip(trace.ops.tolist(), trace.keys.tolist(),
+                   trace.key_sizes.tolist(), trace.value_sizes.tolist(),
+                   trace.penalties.tolist(),
+                   service.miss_array(trace.penalties),
+                   trace.tenants.tolist())
+    return _windowed_rows_tenants(trace, service)
+
+
 @dataclass
 class SimulationResult:
     """Everything one simulation run produced."""
@@ -77,6 +100,17 @@ class SimulationResult:
     #: same split by outcome (hit service times / miss penalties).
     hit_quantiles: dict[str, float] = field(default_factory=dict)
     miss_quantiles: dict[str, float] = field(default_factory=dict)
+    #: per-tenant outcome summaries, populated only by the tenant-tagged
+    #: replay loop (a policy with ``wants_tenants``): tenant id ->
+    #: {name, gets, hits, hit_ratio, service_sum, avg_service_time,
+    #:  penalty_sum, sla_weight, slabs, quantiles}.
+    tenant_metrics: dict[int, dict] = field(default_factory=dict)
+
+    def total_weighted_service_time(self) -> float:
+        """Sum over tenants of ``sla_weight * service_sum`` (the
+        multi-tenant objective the scenarios compare on)."""
+        return sum(m["sla_weight"] * m["service_sum"]
+                   for m in self.tenant_metrics.values())
 
     def hit_ratio_series(self) -> list[float]:
         return [w.hit_ratio for w in self.windows]
@@ -195,16 +229,28 @@ class Simulator:
         # loops below unpack scalars straight out of one zip — no
         # per-request tuple building, no per-miss method call.
         started = time.perf_counter()
-        rows = _trace_rows(trace, service)
 
-        # Loop bodies selected once: the fault-aware replay when an
-        # injector is attached, the timeline-aware replay when only a
-        # recorder is, otherwise the obs-disabled replay runs the hot
-        # loop with zero per-request instrumentation cost (split again
-        # on whether the hit cost is a hoistable constant).
+        # Loop bodies selected once: the tenant-tagged replay when the
+        # policy arbitrates between tenants, the fault-aware replay
+        # when an injector is attached, the timeline-aware replay when
+        # only a recorder is, otherwise the obs-disabled replay runs
+        # the hot loop with zero per-request instrumentation cost
+        # (split again on whether the hit cost is a hoistable constant).
+        tenant_metrics: dict[int, dict] = {}
+        wants_tenants = bool(getattr(cache.policy, "wants_tenants", False))
+        if wants_tenants and self.faults is not None:
+            raise ValueError(
+                "fault injection and tenant arbitration are not combinable "
+                "yet: the fault-aware loop does not tag requests by tenant")
+        rows = (_trace_rows_tenants(trace, service) if wants_tenants
+                else _trace_rows(trace, service))
         cache_lookup = cache.lookup
         cache_delete = cache.delete
-        if self.faults is not None:
+        if wants_tenants:
+            tenant_metrics = self._replay_tenants(
+                rows, metrics, service, hist, hist_hit, hist_miss,
+                timeline, registry)
+        elif self.faults is not None:
             self._replay_faulty(rows, metrics, service,
                                 hist, hist_hit, hist_miss)
         elif timeline is not None:
@@ -280,7 +326,106 @@ class Simulator:
                            if hist_hit is not None else {}),
             miss_quantiles=(hist_miss.quantiles()
                             if hist_miss is not None else {}),
+            tenant_metrics=tenant_metrics,
         )
+
+    def _replay_tenants(self, rows, metrics: MetricsCollector,
+                        service: ServiceTimeModel, hist, hist_hit,
+                        hist_miss, timeline, registry) -> dict[int, dict]:
+        """Tenant-tagged replay: rows carry a 7th tenant-id scalar.
+
+        Sets ``policy.current_tenant`` before every operation (the
+        arbiter's bin/miss dispatch keys on it), accumulates per-tenant
+        outcome totals, feeds the timeline's per-tenant window cells,
+        and — when an obs registry is active — keeps one service-time
+        histogram per tenant for tail quantiles.
+        """
+        cache = self.cache
+        policy = cache.policy
+        fill = self.fill_on_miss
+        cache_lookup = cache.lookup
+        cache_set = cache.set
+        cache_delete = cache.delete
+        record_hit = metrics.record_hit
+        record_miss = metrics.record_miss
+        service_hit = service.hit
+        record_get = timeline.record_get if timeline is not None else None
+        advance = timeline.advance if timeline is not None else None
+        #: tenant -> [gets, hits, service_sum, penalty_sum]
+        cells: dict[int, list] = {}
+        tenant_hists: dict[int, object] = {}
+        tick = -1
+        for op, key, key_size, value_size, penalty, miss_cost, tenant in rows:
+            tick += 1
+            policy.current_tenant = tenant
+            if op == 0:  # GET
+                item = cache_lookup(key, key_size, value_size, penalty)
+                if item is not None:
+                    hit = True
+                    cost = service_hit(item.total_size)
+                    record_hit(cost)
+                    if hist is not None:
+                        hist.record(cost)
+                        hist_hit.record(cost)
+                else:
+                    hit = False
+                    cost = miss_cost
+                    record_miss(cost)
+                    if hist is not None:
+                        hist.record(cost)
+                        hist_miss.record(cost)
+                    if fill:
+                        cache_set(key, key_size, value_size, penalty)
+                cell = cells.get(tenant)
+                if cell is None:
+                    cell = cells[tenant] = [0, 0, 0.0, 0.0]
+                cell[0] += 1
+                cell[1] += hit
+                cell[2] += cost
+                if not hit and penalty == penalty:
+                    cell[3] += penalty
+                if record_get is not None:
+                    record_get(tick, hit, cost,
+                               0.0 if hit else penalty, tenant)
+                if registry is not None:
+                    th = tenant_hists.get(tenant)
+                    if th is None:
+                        th = tenant_hists[tenant] = registry.histogram(
+                            "sim_tenant_service_time_seconds",
+                            "per-request GET service time by tenant",
+                            lo=1e-6, growth=1.25, policy=policy.name,
+                            tenant=str(tenant))
+                    th.record(cost)
+            elif op == 1:  # SET
+                cache_set(key, key_size, value_size, penalty)
+                if advance is not None:
+                    advance(tick)
+            else:  # DELETE
+                cache_delete(key)
+                if advance is not None:
+                    advance(tick)
+
+        configs = getattr(policy, "tenants", ())
+        slabs = (policy.tenant_slabs()
+                 if hasattr(policy, "tenant_slabs") else [])
+        out: dict[int, dict] = {}
+        for tenant in sorted(cells):
+            gets, hits, service_sum, penalty_sum = cells[tenant]
+            cfg = configs[tenant] if tenant < len(configs) else None
+            th = tenant_hists.get(tenant)
+            out[tenant] = {
+                "name": cfg.name if cfg is not None else f"t{tenant}",
+                "gets": gets,
+                "hits": hits,
+                "hit_ratio": hits / gets if gets else 0.0,
+                "service_sum": service_sum,
+                "avg_service_time": service_sum / gets if gets else 0.0,
+                "penalty_sum": penalty_sum,
+                "sla_weight": (cfg.sla_weight if cfg is not None else 1.0),
+                "slabs": slabs[tenant] if tenant < len(slabs) else 0,
+                "quantiles": th.quantiles() if th is not None else {},
+            }
+        return out
 
     def _replay_timeline(self, rows, metrics: MetricsCollector,
                          service: ServiceTimeModel, hist, hist_hit,

@@ -1,0 +1,22 @@
+"""Multi-tenant arbitration: tenant-tagged traces, reserves, stealing.
+
+One cache, many applications: :func:`mix_tenants` interleaves
+per-tenant synthetic workloads into a tenant-tagged trace, and
+:class:`TenantArbiter` layers Memshare-style guaranteed reserves plus
+an elastic pool over per-tenant PAMA, deciding cross-tenant slab
+stealing by comparing marginal penalty mass per slab.  See
+``docs/tenancy.md``.
+"""
+
+from repro.tenancy.arbiter import (TenantArbiter, TenantConfig,
+                                   static_partition)
+from repro.tenancy.mix import (TENANT_KEY_STRIDE, TenantSpec, mix_tenants,
+                               tenant_configs)
+from repro.tenancy.scenarios import (SCENARIOS, ScenarioResult,
+                                     noisy_neighbor_specs, run_scenario)
+
+__all__ = [
+    "TenantArbiter", "TenantConfig", "static_partition",
+    "TenantSpec", "mix_tenants", "tenant_configs", "TENANT_KEY_STRIDE",
+    "SCENARIOS", "ScenarioResult", "noisy_neighbor_specs", "run_scenario",
+]

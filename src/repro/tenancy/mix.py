@@ -1,0 +1,172 @@
+"""Tenant-tagged trace synthesis: interleave per-tenant workloads.
+
+``mix_tenants`` builds one :class:`~repro.traces.record.Trace` whose
+rows carry a ``tenants`` column: each tenant is an independent
+:class:`~repro.traces.synthetic.SyntheticTraceGenerator` over its own
+profile (ETC/APP/USR/SYS/VAR or custom) with a per-tenant penalty
+scale, and the global stream interleaves them by weighted draw inside
+arrival/departure phases — tenants can join late (a noisy neighbor
+bursting in) or leave early.
+
+Determinism: everything derives from the mix ``seed`` — the phase
+interleaving, each tenant's sub-generator, and the global arrival
+process — so a (specs, n, seed) triple always produces the identical
+trace.
+
+Key namespacing: tenant ``i``'s keys are shifted by
+``i * TENANT_KEY_STRIDE`` so tenants never collide in the cache index
+(and the arbiter's per-tenant ghost lists stay disjoint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.traces.penalty import PenaltyModel
+from repro.traces.record import Trace
+from repro.traces.synthetic import SyntheticTraceGenerator
+from repro.traces.workloads import WorkloadProfile
+
+#: key-id stride between tenants; far above any single generator's key
+#: universe including its cold-key range (COLD_KEY_BASE + seed << 32
+#: with the sub-seed capped below 2**16 stays under 2**50).
+TENANT_KEY_STRIDE = 1 << 50
+
+#: sub-generator seeds are folded into this range (see stride note).
+_SUB_SEED_MOD = 1 << 16
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's slice of a mixed trace.
+
+    Attributes:
+        name: tenant label (reports, scenario output).
+        profile: the tenant's workload shape.
+        weight: relative request share while the tenant is active.
+        penalty_scale: multiplier on the profile's miss penalties (how
+            expensive this tenant's misses are relative to the others).
+        arrival: fraction of the trace (0..1) at which the tenant's
+            requests start appearing.
+        departure: fraction at which they stop.
+        sla_weight: weight in the total weighted service-time
+            objective (threaded into :class:`TenantConfig`).
+        reserve_fraction: fraction of the cache's slabs to guarantee
+            this tenant when building arbiter configs.
+    """
+
+    name: str
+    profile: WorkloadProfile
+    weight: float = 1.0
+    penalty_scale: float = 1.0
+    arrival: float = 0.0
+    departure: float = 1.0
+    sla_weight: float = 1.0
+    reserve_fraction: float = 0.0
+    penalty_model: PenaltyModel | None = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"tenant {self.name}: weight must be positive")
+        if self.penalty_scale <= 0:
+            raise ValueError(
+                f"tenant {self.name}: penalty_scale must be positive")
+        if not 0.0 <= self.arrival < self.departure <= 1.0:
+            raise ValueError(
+                f"tenant {self.name}: need 0 <= arrival < departure <= 1, "
+                f"got [{self.arrival}, {self.departure}]")
+        if self.sla_weight <= 0:
+            raise ValueError(
+                f"tenant {self.name}: sla_weight must be positive")
+        if not 0.0 <= self.reserve_fraction <= 1.0:
+            raise ValueError(
+                f"tenant {self.name}: reserve_fraction must be in [0, 1]")
+
+
+def _phases(specs: list[TenantSpec], n: int) -> list[tuple[int, int, list[int]]]:
+    """Split rows into (start_row, end_row, active tenant idxs) phases."""
+    edges = {0.0, 1.0}
+    for s in specs:
+        edges.add(s.arrival)
+        edges.add(s.departure)
+    bounds = sorted(edges)
+    phases = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        start, stop = round(lo * n), round(hi * n)
+        if start >= stop:
+            continue
+        active = [i for i, s in enumerate(specs)
+                  if s.arrival <= lo and s.departure >= hi]
+        if not active:
+            raise ValueError(
+                f"no tenant active in trace fraction [{lo}, {hi}); "
+                f"adjust arrival/departure schedules to cover the trace")
+        phases.append((start, stop, active))
+    return phases
+
+
+def mix_tenants(specs: list[TenantSpec] | tuple[TenantSpec, ...], n: int,
+                seed: int = 0, mean_interarrival: float = 1e-4) -> Trace:
+    """Interleave tenant workloads into one tenant-tagged trace."""
+    specs = list(specs)
+    if not specs:
+        raise ValueError("need at least one tenant spec")
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if len(specs) >= 2 ** 16:
+        raise ValueError("at most 65535 tenants (uint16 tenant column)")
+
+    # 1. assign each row a tenant, phase by phase (weighted draw among
+    #    the tenants active in that phase).
+    tenant_col = np.empty(n, dtype=np.uint16)
+    for start, stop, active in _phases(specs, n):
+        rng = np.random.default_rng(np.random.SeedSequence([seed, 777, start]))
+        weights = np.array([specs[i].weight for i in active], dtype=np.float64)
+        draws = rng.choice(len(active), size=stop - start,
+                           p=weights / weights.sum())
+        tenant_col[start:stop] = np.array(active, dtype=np.uint16)[draws]
+
+    # 2. per tenant: generate its sub-trace and scatter the columns
+    #    into the global arrays at that tenant's row positions.
+    ops = np.empty(n, dtype=np.uint8)
+    keys = np.empty(n, dtype=np.int64)
+    key_sizes = np.empty(n, dtype=np.int32)
+    value_sizes = np.empty(n, dtype=np.int32)
+    penalties = np.empty(n, dtype=np.float64)
+    for idx, spec in enumerate(specs):
+        rows = np.flatnonzero(tenant_col == idx)
+        if not len(rows):
+            continue
+        sub_seed = (seed * 1_000_003 + idx) % _SUB_SEED_MOD
+        gen = SyntheticTraceGenerator(spec.profile, seed=sub_seed,
+                                      penalty_model=spec.penalty_model,
+                                      mean_interarrival=mean_interarrival)
+        sub = gen.generate(len(rows))
+        ops[rows] = sub.ops
+        keys[rows] = sub.keys + idx * TENANT_KEY_STRIDE
+        key_sizes[rows] = sub.key_sizes
+        value_sizes[rows] = sub.value_sizes
+        penalties[rows] = sub.penalties * spec.penalty_scale
+
+    # 3. one global arrival process (tenant interleaving is in request
+    #    order; wall-clock gaps are a property of the merged stream).
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 555]))
+    timestamps = np.cumsum(rng.exponential(mean_interarrival, n))
+
+    return Trace(ops, keys, key_sizes, value_sizes, penalties, timestamps,
+                 meta={"workload": "tenant-mix", "seed": seed, "n": n,
+                       "tenants": [s.name for s in specs]},
+                 tenants=tenant_col)
+
+
+def tenant_configs(specs: list[TenantSpec] | tuple[TenantSpec, ...],
+                   total_slabs: int) -> list:
+    """Build :class:`TenantConfig` contracts from specs for a cache size."""
+    from repro.tenancy.arbiter import TenantConfig
+
+    return [TenantConfig(name=s.name,
+                         reserve_slabs=int(s.reserve_fraction * total_slabs),
+                         sla_weight=s.sla_weight)
+            for s in specs]

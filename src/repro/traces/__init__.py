@@ -1,15 +1,17 @@
 """Trace substrate: synthetic Facebook-like workloads, penalties, I/O."""
 
 from repro.traces.burst import inject_burst
-from repro.traces.compile import (CompiledTrace, CompiledTraceWriter,
-                                  compile_csv, compile_synthetic,
-                                  compile_trace, is_compiled_trace)
+from repro.traces.compile import (FORMAT_V1, FORMAT_V2, CompiledTrace,
+                                  CompiledTraceWriter, compile_csv,
+                                  compile_synthetic, compile_trace,
+                                  is_compiled_trace)
 from repro.traces.io import (TraceMetaWarning, from_requests,
                              iter_request_chunks, iter_csv, load_csv,
                              load_npz, save_csv, save_npz)
 from repro.traces.penalty import PenaltyModel, infer_penalties
-from repro.traces.record import (Op, Request, SharedTrace, Trace,
-                                 TraceDescriptor, attach_shared_trace,
+from repro.traces.record import (TENANT_COLUMN, TRACE_COLUMNS,
+                                 TRACE_COLUMNS_V2, Op, Request, SharedTrace,
+                                 Trace, TraceDescriptor, attach_shared_trace,
                                  disable_shm_tracking)
 from repro.traces.stats import TraceStats, analyze, penalty_by_size_decade
 from repro.traces.synthetic import SyntheticTraceGenerator, generate, zipf_cdf
@@ -35,4 +37,6 @@ __all__ = [
     "load_twitter",
     "CompiledTrace", "CompiledTraceWriter", "compile_trace",
     "compile_csv", "compile_synthetic", "is_compiled_trace",
+    "FORMAT_V1", "FORMAT_V2",
+    "TENANT_COLUMN", "TRACE_COLUMNS", "TRACE_COLUMNS_V2",
 ]

@@ -45,13 +45,23 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
-from repro.traces.record import TRACE_COLUMNS, Trace
+from repro.traces.record import TRACE_COLUMNS, TRACE_COLUMNS_V2, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.traces.workloads import WorkloadProfile
 
-#: format tag written to (and required from) ``meta.json``.
-FORMAT = "repro-kv/compiled-trace/v1"
+#: v1 format tag: the original six columns, no tenant tagging.
+FORMAT_V1 = "repro-kv/compiled-trace/v1"
+
+#: v2 format tag: v1 plus a ``tenants.npy`` column (``<u2`` tenant ids).
+FORMAT_V2 = "repro-kv/compiled-trace/v2"
+
+#: what the writer emits today (kept as ``FORMAT`` for callers that
+#: predate v2); the reader accepts both tags.
+FORMAT = FORMAT_V2
+
+#: every format tag the reader accepts, mapped to its column set.
+_FORMAT_COLUMNS = {FORMAT_V1: TRACE_COLUMNS, FORMAT_V2: TRACE_COLUMNS_V2}
 
 #: column name -> little-endian dtype, fixed for the format.
 COLUMN_DTYPES: dict[str, np.dtype] = {
@@ -61,6 +71,7 @@ COLUMN_DTYPES: dict[str, np.dtype] = {
     "value_sizes": np.dtype("<i4"),
     "penalties": np.dtype("<f8"),
     "timestamps": np.dtype("<f8"),
+    "tenants": np.dtype("<u2"),
 }
 
 #: rows per streamed window; sized so the hot loop's per-window
@@ -107,14 +118,19 @@ class CompiledTraceWriter:
     """
 
     def __init__(self, path: str | os.PathLike,
-                 meta: dict | None = None) -> None:
+                 meta: dict | None = None,
+                 format: str = FORMAT) -> None:
+        if format not in _FORMAT_COLUMNS:
+            raise ValueError(f"unknown compiled-trace format {format!r}")
         self.path = os.fspath(path)
         os.makedirs(self.path, exist_ok=True)
         self.meta = dict(meta or {})
+        self.format = format
+        self.columns = _FORMAT_COLUMNS[format]
         self.n = 0
         self._files = {}
         try:
-            for name in TRACE_COLUMNS:
+            for name in self.columns:
                 fh = open(_column_path(self.path, name), "wb")
                 fh.write(_header_bytes(COLUMN_DTYPES[name], 0))
                 self._files[name] = fh
@@ -132,13 +148,19 @@ class CompiledTraceWriter:
         if not self._files:
             raise ValueError("writer is closed")
         get = (chunk.get if isinstance(chunk, dict)
-               else lambda name: getattr(chunk, name))
+               else lambda name: getattr(chunk, name, None))
         arrays = {}
         n = None
-        for name in TRACE_COLUMNS:
+        for name in self.columns:
             arr = get(name)
             if arr is None:
-                raise ValueError(f"chunk is missing column {name!r}")
+                if name == "tenants":
+                    # Dict chunks may omit the tenant column; the format
+                    # still carries it (all-zero = single tenant).
+                    arr = np.zeros(n if n is not None else 0,
+                                   dtype=COLUMN_DTYPES[name])
+                else:
+                    raise ValueError(f"chunk is missing column {name!r}")
             arr = np.ascontiguousarray(arr, dtype=COLUMN_DTYPES[name])
             if arr.ndim != 1:
                 raise ValueError(f"column {name!r} must be 1-D")
@@ -161,9 +183,9 @@ class CompiledTraceWriter:
             fh.write(_header_bytes(COLUMN_DTYPES[name], self.n))
             fh.close()
         self._files = {}
-        doc = {"format": FORMAT, "n": self.n,
-               "columns": {name: str(dt) for name, dt
-                           in COLUMN_DTYPES.items()},
+        doc = {"format": self.format, "n": self.n,
+               "columns": {name: str(COLUMN_DTYPES[name])
+                           for name in self.columns},
                "meta": _jsonable_meta(self.meta)}
         with open(_meta_path(self.path), "w") as fh:
             json.dump(doc, fh, indent=2, sort_keys=True)
@@ -215,12 +237,20 @@ class CompiledTrace:
                 f"{self.path!r} is not a compiled trace (no meta.json)")
         with open(meta_file) as fh:
             doc = json.load(fh)
-        if doc.get("format") != FORMAT:
-            raise ValueError(f"{self.path!r}: unexpected format "
-                             f"{doc.get('format')!r}; expected {FORMAT!r}")
+        fmt = doc.get("format")
+        if fmt not in _FORMAT_COLUMNS:
+            raise ValueError(
+                f"{self.path!r}: unexpected format {fmt!r}; expected one "
+                f"of {sorted(_FORMAT_COLUMNS)}")
+        self.format = fmt
         self.meta = dict(doc.get("meta", {}))
         self.n = int(doc["n"])
-        for name in TRACE_COLUMNS:
+        #: column files actually on disk (v1 has no tenants.npy).
+        self.disk_columns = _FORMAT_COLUMNS[fmt]
+        # Every on-disk column — the tenant column included — must agree
+        # with meta.json's row count and the format dtype; a truncated or
+        # retyped file is data corruption, not a soft fallback.
+        for name in self.disk_columns:
             arr = np.load(_column_path(self.path, name), mmap_mode="r")
             if arr.shape != (self.n,):
                 raise ValueError(
@@ -231,20 +261,26 @@ class CompiledTrace:
                     f"{self.path!r}: column {name!r} has dtype {arr.dtype}, "
                     f"expected {COLUMN_DTYPES[name]}")
             setattr(self, name, arr)
+        if "tenants" not in self.disk_columns:
+            # v1 compatibility: an implicit all-zero tenant column
+            # (zero-copy broadcast; slices and .tolist() work the same).
+            self.tenants = np.broadcast_to(
+                np.zeros(1, dtype=COLUMN_DTYPES["tenants"]), (self.n,))
 
     def __len__(self) -> int:
         return self.n
 
     @property
     def nbytes(self) -> int:
-        """Total bytes of column data (excluding headers/meta)."""
-        return sum(getattr(self, name).nbytes for name in TRACE_COLUMNS)
+        """Total bytes of column data on disk (excluding headers/meta)."""
+        return sum(getattr(self, name).nbytes for name in self.disk_columns)
 
     def slice(self, start: int, stop: int | None = None) -> Trace:
         """An in-memory :class:`Trace` copy of rows ``[start, stop)``."""
         sl = np.s_[start:stop]
         return Trace(*(np.array(getattr(self, name)[sl])
-                       for name in TRACE_COLUMNS), meta=dict(self.meta))
+                       for name in TRACE_COLUMNS), meta=dict(self.meta),
+                     tenants=np.array(self.tenants[sl]))
 
     def to_trace(self) -> Trace:
         """Materialize the whole trace in RAM (small traces only)."""
@@ -257,7 +293,7 @@ class CompiledTrace:
         if advise is None:  # pragma: no cover - non-Linux hosts
             return
         page = _mmap.PAGESIZE
-        for name in TRACE_COLUMNS:
+        for name in self.disk_columns:
             arr = getattr(self, name)
             mm = getattr(arr, "_mmap", None)
             if mm is None:  # pragma: no cover - future numpy internals
@@ -291,7 +327,8 @@ class CompiledTrace:
         for start in range(0, self.n, window):
             stop = min(start + window, self.n)
             yield Trace(*(getattr(self, name)[start:stop]
-                          for name in TRACE_COLUMNS), meta=meta)
+                          for name in TRACE_COLUMNS), meta=meta,
+                        tenants=self.tenants[start:stop])
             if self.release:
                 self._release_range(start, stop)
 
@@ -391,20 +428,24 @@ def describe(compiled: CompiledTrace) -> dict:
     penalty_sum = 0.0
     penalty_max = 0.0
     value_bytes = 0
+    tenant_ids: set[int] = set()
     for w in compiled.iter_windows():
         ops_count += np.bincount(w.ops, minlength=3)[:3]
         penalty_sum += float(w.penalties.sum())
         if len(w):
             penalty_max = max(penalty_max, float(w.penalties.max()))
         value_bytes += int(w.value_sizes.sum(dtype=np.int64))
+        tenant_ids.update(np.unique(w.tenants).tolist())
     n = len(compiled)
     return {
         "path": compiled.path,
+        "format": compiled.format,
         "rows": n,
         "bytes": compiled.nbytes,
         "gets": int(ops_count[0]),
         "sets": int(ops_count[1]),
         "deletes": int(ops_count[2]),
+        "tenants": len(tenant_ids) if n else 0,
         "mean_penalty": (penalty_sum / n) if n else 0.0,
         "max_penalty": penalty_max,
         "total_value_bytes": value_bytes,

@@ -96,11 +96,15 @@ def _legacy_meta(path: str | os.PathLike) -> dict:
 def save_npz(trace: Trace, path: str | os.PathLike) -> None:
     """Write a trace as a compressed ``.npz`` archive."""
     meta_json = json.dumps(meta_to_jsonable(trace.meta), sort_keys=True)
-    np.savez_compressed(
-        path, ops=trace.ops, keys=trace.keys, key_sizes=trace.key_sizes,
+    columns = dict(
+        ops=trace.ops, keys=trace.keys, key_sizes=trace.key_sizes,
         value_sizes=trace.value_sizes, penalties=trace.penalties,
-        timestamps=trace.timestamps,
-        meta_json=np.asarray(meta_json))
+        timestamps=trace.timestamps)
+    if trace.tenants.any():
+        # Only multi-tenant traces pay for the column; single-tenant
+        # archives stay byte-identical to the pre-tenancy format.
+        columns["tenants"] = np.ascontiguousarray(trace.tenants)
+    np.savez_compressed(path, meta_json=np.asarray(meta_json), **columns)
 
 
 def load_npz(path: str | os.PathLike) -> Trace:
@@ -112,9 +116,10 @@ def load_npz(path: str | os.PathLike) -> Trace:
         else:
             legacy = "meta" in data.files
             meta = {}
+        tenants = data["tenants"] if "tenants" in data.files else None
         trace = Trace(data["ops"], data["keys"], data["key_sizes"],
                       data["value_sizes"], data["penalties"],
-                      data["timestamps"], meta)
+                      data["timestamps"], meta, tenants)
     if legacy:
         trace.meta.update(_legacy_meta(path))
     return trace

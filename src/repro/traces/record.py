@@ -19,6 +19,14 @@ import numpy as np
 TRACE_COLUMNS = ("ops", "keys", "key_sizes", "value_sizes", "penalties",
                  "timestamps")
 
+#: optional multi-tenant column (uint16 tenant ids); kept out of
+#: TRACE_COLUMNS so single-tenant code paths (and the compiled-trace v1
+#: format) stay untouched, and threaded explicitly where it matters.
+TENANT_COLUMN = "tenants"
+
+#: every column a multi-tenant trace carries (shared-memory layout order).
+TRACE_COLUMNS_V2 = TRACE_COLUMNS + (TENANT_COLUMN,)
+
 
 class Op(IntEnum):
     """Request types (the paper's GET / SET / DEL primitives)."""
@@ -50,16 +58,18 @@ class Trace:
 
     Columns: ``ops`` (uint8), ``keys`` (int64), ``key_sizes`` (int32),
     ``value_sizes`` (int32), ``penalties`` (float64), ``timestamps``
-    (float64).  ``meta`` carries provenance (workload name, seed, ...).
+    (float64), ``tenants`` (uint16, all-zero for single-tenant traces).
+    ``meta`` carries provenance (workload name, seed, ...).
     """
 
     __slots__ = ("ops", "keys", "key_sizes", "value_sizes", "penalties",
-                 "timestamps", "meta")
+                 "timestamps", "tenants", "meta")
 
     def __init__(self, ops: np.ndarray, keys: np.ndarray,
                  key_sizes: np.ndarray, value_sizes: np.ndarray,
                  penalties: np.ndarray, timestamps: np.ndarray | None = None,
-                 meta: dict | None = None) -> None:
+                 meta: dict | None = None,
+                 tenants: np.ndarray | None = None) -> None:
         n = len(ops)
         arrays = dict(ops=ops, keys=keys, key_sizes=key_sizes,
                       value_sizes=value_sizes, penalties=penalties)
@@ -77,6 +87,14 @@ class Trace:
         elif len(timestamps) != n:
             raise ValueError("timestamps length mismatch")
         self.timestamps = np.asarray(timestamps, dtype=np.float64)
+        if tenants is None:
+            # Zero-copy all-zero view: single-tenant traces pay no
+            # per-row memory for the column they never look at.
+            tenants = np.broadcast_to(np.zeros(1, dtype=np.uint16), (n,))
+        elif len(tenants) != n:
+            raise ValueError(
+                f"column 'tenants' has {len(tenants)} rows, expected {n}")
+        self.tenants = np.asarray(tenants, dtype=np.uint16)
         self.meta = dict(meta or {})
 
     def __len__(self) -> int:
@@ -99,7 +117,8 @@ class Trace:
         sl = np.s_[start:stop]
         return Trace(self.ops[sl], self.keys[sl], self.key_sizes[sl],
                      self.value_sizes[sl], self.penalties[sl],
-                     self.timestamps[sl], dict(self.meta))
+                     self.timestamps[sl], dict(self.meta),
+                     self.tenants[sl])
 
     def concat(self, other: "Trace") -> "Trace":
         if len(other) and len(self):
@@ -115,7 +134,8 @@ class Trace:
             np.concatenate([self.value_sizes, other.value_sizes]),
             np.concatenate([self.penalties, other.penalties]),
             np.concatenate([self.timestamps, other.timestamps + shift]),
-            meta)
+            meta,
+            np.concatenate([self.tenants, other.tenants]))
 
     def repeat(self, times: int) -> "Trace":
         """Replay the trace ``times`` times back-to-back.
@@ -134,6 +154,18 @@ class Trace:
     @property
     def num_gets(self) -> int:
         return int(np.count_nonzero(self.ops == Op.GET))
+
+    @property
+    def num_tenants(self) -> int:
+        """Distinct tenant count implied by the tenant ids (>= 1).
+
+        Tenant ids are dense by convention (``mix_tenants`` assigns
+        0..T-1), so the count is ``max + 1``; an untagged trace is one
+        tenant.
+        """
+        if not len(self):
+            return 1
+        return int(self.tenants.max()) + 1
 
     @property
     def unique_keys(self) -> int:
@@ -180,7 +212,7 @@ class SharedTrace:
         from multiprocessing import shared_memory
 
         arrays = [np.ascontiguousarray(getattr(trace, c))
-                  for c in TRACE_COLUMNS]
+                  for c in TRACE_COLUMNS_V2]
         offsets = []
         size = 0
         for arr in arrays:
@@ -196,7 +228,7 @@ class SharedTrace:
         self.descriptor = TraceDescriptor(
             shm_name=self._shm.name, n=len(trace),
             columns=tuple((c, arr.dtype.str, off)
-                          for c, arr, off in zip(TRACE_COLUMNS, arrays,
+                          for c, arr, off in zip(TRACE_COLUMNS_V2, arrays,
                                                  offsets)),
             meta=dict(trace.meta))
 
@@ -260,4 +292,4 @@ def attach_shared_trace(descriptor: TraceDescriptor) -> Trace:
     meta["_shm"] = shm  # keep the mapping alive as long as the trace
     return Trace(cols["ops"], cols["keys"], cols["key_sizes"],
                  cols["value_sizes"], cols["penalties"],
-                 cols["timestamps"], meta)
+                 cols["timestamps"], meta, cols.get("tenants"))

@@ -1,0 +1,152 @@
+"""Property tests for the tenant arbiter's contracts.
+
+Hypothesis drives (seed, reserve split, tenant mix) through full
+replays and asserts the invariants the arbiter promises:
+
+* slab conservation — per-tenant ownership plus the free pool always
+  sums to the pool total, checked *during* the replay, not just after;
+* reserve floor — once a tenant's reserve has been filled it never
+  dips below the guarantee again, no matter what the other tenants'
+  penalty mass does;
+* determinism — a fixed (specs, n, seed) triple replays to identical
+  results and identical steal decisions every time.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import SizeClassConfig, SlabCache
+from repro.core.config import PamaConfig
+from repro.sim.simulator import simulate
+from repro.tenancy import (TenantArbiter, TenantConfig, TenantSpec,
+                           mix_tenants, tenant_configs)
+from repro.traces.workloads import APP, ETC, USR
+
+#: small cache so reserves and steals actually bind: 32 slabs.
+CACHE_BYTES = 2 << 20
+SLAB_BYTES = 64 << 10
+TOTAL_SLABS = CACHE_BYTES // SLAB_BYTES
+
+CONFIG_KW = {"value_window": 2_000}
+
+
+def _specs(reserve_a, reserve_b):
+    return [
+        TenantSpec(name="a", profile=ETC.scaled(0.02), penalty_scale=5.0,
+                   sla_weight=3.0, reserve_fraction=reserve_a),
+        TenantSpec(name="b", profile=APP.scaled(0.02), weight=2.0,
+                   reserve_fraction=reserve_b),
+        TenantSpec(name="c", profile=USR.scaled(0.02), weight=0.5,
+                   arrival=0.3),
+    ]
+
+
+def _build(specs):
+    arb = TenantArbiter(tenant_configs(specs, TOTAL_SLABS),
+                        config=PamaConfig(**CONFIG_KW))
+    cache = SlabCache(CACHE_BYTES, arb,
+                      SizeClassConfig(slab_size=SLAB_BYTES))
+    return arb, cache
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 2 ** 16),
+       reserve_a=st.sampled_from([0.0, 0.125, 0.25]),
+       reserve_b=st.sampled_from([0.0, 0.125]))
+def test_conservation_and_reserve_floor_throughout(seed, reserve_a,
+                                                   reserve_b):
+    """Drive the cache op-by-op, auditing invariants every 250 ops."""
+    specs = _specs(reserve_a, reserve_b)
+    trace = mix_tenants(specs, 4_000, seed=seed)
+    arb, cache = _build(specs)
+    ops = trace.ops.tolist()
+    keys = trace.keys.tolist()
+    ksz = trace.key_sizes.tolist()
+    vsz = trace.value_sizes.tolist()
+    pen = trace.penalties.tolist()
+    tenants = trace.tenants.tolist()
+    for i in range(len(trace)):
+        arb.current_tenant = tenants[i]
+        if ops[i] == 0:
+            if cache.lookup(keys[i], ksz[i], vsz[i], pen[i]) is None:
+                cache.set(keys[i], ksz[i], vsz[i], pen[i])
+        elif ops[i] == 1:
+            cache.set(keys[i], ksz[i], vsz[i], pen[i])
+        else:
+            cache.delete(keys[i])
+        if i % 250 == 0:
+            arb.check_invariants()
+            cache.check_invariants()
+    arb.check_invariants()
+    cache.check_invariants()
+    owned = arb.tenant_slabs()
+    assert sum(owned) + cache.pool.free == cache.pool.total
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 2 ** 16))
+def test_fixed_seed_replay_is_deterministic(seed):
+    """Two identical runs: identical outputs AND identical steals."""
+    specs = _specs(0.25, 0.125)
+    trace = mix_tenants(specs, 4_000, seed=seed)
+    outcomes = []
+    for _ in range(2):
+        arb, cache = _build(specs)
+        result = simulate(trace, cache, window_gets=1_000)
+        outcomes.append((result.hit_ratio, result.avg_service_time,
+                         result.total_gets, result.cache_stats,
+                         result.final_queue_slabs, arb.steal_counts(),
+                         arb.tenant_slabs(),
+                         {t: (m["gets"], m["hits"], m["service_sum"])
+                          for t, m in result.tenant_metrics.items()}))
+    assert outcomes[0] == outcomes[1]
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 2 ** 16))
+def test_static_partition_never_crosses_boxes(seed):
+    """The baseline's caps hold: each tenant stays inside its share."""
+    specs = _specs(0.0, 0.0)
+    trace = mix_tenants(specs, 4_000, seed=seed)
+    from repro.tenancy import static_partition
+    arb = static_partition(tenant_configs(specs, TOTAL_SLABS),
+                           TOTAL_SLABS, config=PamaConfig(**CONFIG_KW))
+    cache = SlabCache(CACHE_BYTES, arb,
+                      SizeClassConfig(slab_size=SLAB_BYTES))
+    simulate(trace, cache, window_gets=1_000)
+    assert arb.steal_counts() == {"approved": 0, "declined": 0,
+                                  "forced": 0}
+    share = TOTAL_SLABS // len(specs)
+    for t, owned in enumerate(arb.tenant_slabs()):
+        assert owned <= share + 1
+    arb.check_invariants()
+
+
+class TestValidation:
+    def test_tenant_config_rejects_bad_contracts(self):
+        import pytest
+        with pytest.raises(ValueError):
+            TenantConfig(name="x", reserve_slabs=-1)
+        with pytest.raises(ValueError):
+            TenantConfig(name="x", reserve_slabs=4, cap_slabs=2)
+        with pytest.raises(ValueError):
+            TenantConfig(name="x", sla_weight=0.0)
+
+    def test_arbiter_rejects_degenerate_args(self):
+        import pytest
+        with pytest.raises(ValueError):
+            TenantArbiter(0)
+        with pytest.raises(ValueError):
+            TenantArbiter([])
+        with pytest.raises(ValueError):
+            TenantArbiter(2, steal_margin=0.0)
+
+    def test_tenant_names_surface_in_metrics(self):
+        specs = _specs(0.125, 0.0)
+        trace = mix_tenants(specs, 2_000, seed=3)
+        arb, cache = _build(specs)
+        result = simulate(trace, cache, window_gets=1_000)
+        names = {m["name"] for m in result.tenant_metrics.values()}
+        assert names <= {"a", "b", "c"}
+        assert np.asarray(trace.tenants).max() <= 2

@@ -1,0 +1,61 @@
+"""CLI surface of the tenancy subsystem."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTenancyCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["tenancy", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "noisy-neighbor" in out
+        assert "arrival-departure" in out
+
+    def test_missing_scenario_is_usage_error(self, capsys):
+        assert main(["tenancy"]) == 2
+        assert "scenario name" in capsys.readouterr().err
+
+    def test_unknown_scenario_rejected(self, capsys):
+        assert main(["tenancy", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_runs_scenario_with_dump_and_report(self, tmp_path, capsys):
+        dump = tmp_path / "dump"
+        assert main(["tenancy", "noisy-neighbor", "--requests", "8000",
+                     "--seed", "7", "--window", "2000",
+                     "--dump-dir", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "noisy-neighbor" in out
+        assert "victim" in out and "noisy" in out
+        assert (dump / "timeline.jsonl").exists()
+        assert (dump / "meta.json").exists()
+        html = tmp_path / "report.html"
+        assert main(["report", str(dump), "--out", str(html)]) == 0
+        assert html.stat().st_size > 0
+
+
+class TestSimulateTenants:
+    def test_simulate_with_tenant_mix(self, capsys):
+        assert main(["simulate", "--tenants", "etc,usr",
+                     "--requests", "6000", "--scale", "0.02",
+                     "--cache-size", "2MiB", "--slab-size", "64KiB",
+                     "--window", "2000", "--reserve", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "tenant-arbiter" in out
+        assert "tenant      etc" in out
+        assert "tenant      usr" in out
+        assert "weighted service" in out
+
+    def test_tenants_and_trace_are_exclusive(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--tenants", "etc",
+                  "--trace", str(tmp_path / "t.npz")])
+
+    def test_duplicate_profiles_get_distinct_names(self, capsys):
+        assert main(["simulate", "--tenants", "etc,etc",
+                     "--requests", "4000", "--scale", "0.02",
+                     "--cache-size", "2MiB", "--slab-size", "64KiB",
+                     "--window", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "etc#0" in out and "etc#1" in out

@@ -1,0 +1,110 @@
+"""Differential pin: a single-tenant arbiter IS plain PAMA.
+
+With one tenant and no reserve, every piece of the arbiter must reduce
+to the identity: the bin mapping is ``0 * nbins + b``, the eligibility
+filter never rejects a queue, the SLA/steal-margin scaling is never
+applied (the cross-tenant branch is unreachable), and
+``wants_free_slab`` always grants.  So a replay under
+``TenantArbiter(1)`` must match a replay under ``PamaPolicy`` with the
+same config ``==``-exact — every float bit-for-bit, every counter to
+the unit.  Any divergence means the arbiter's decision replica drifted
+from the real policy.
+"""
+
+import random
+
+import numpy as np
+
+from repro.cache import SizeClassConfig, SlabCache
+from repro.core.config import PamaConfig
+from repro.core.pama import PamaPolicy
+from repro.sim.simulator import simulate
+from repro.tenancy import TenantArbiter, TenantConfig
+from repro.traces.record import Trace
+
+
+def mixed_trace(n=40_000, seed=1234):
+    """Mixed GET/SET/DELETE trace, same shape as the replay pin suite.
+
+    No tenant column on purpose: a plain trace must replay under the
+    arbiter via the implicit all-zero tenant broadcast.
+    """
+    rng = random.Random(seed)
+    ops, keys, ks, vs, pens = [], [], [], [], []
+    sizes = (48, 150, 700, 2600, 9000)
+    penalties = (0.0004, 0.004, 0.04, 0.4, 1.6)
+    for _ in range(n):
+        r = rng.random()
+        op = 0 if r < 0.80 else (1 if r < 0.95 else 2)
+        ops.append(op)
+        keys.append(rng.randrange(3000))
+        ks.append(16)
+        vs.append(rng.choice(sizes))
+        pens.append(rng.choice(penalties))
+    return Trace(np.array(ops, dtype=np.uint8),
+                 np.array(keys, dtype=np.int64),
+                 np.array(ks, dtype=np.int32),
+                 np.array(vs, dtype=np.int32),
+                 np.array(pens, dtype=np.float64),
+                 meta={"name": "mixed"})
+
+
+def _run(policy):
+    cache = SlabCache(8 << 20, policy,
+                      SizeClassConfig(slab_size=64 << 10))
+    return simulate(mixed_trace(), cache, window_gets=10_000)
+
+
+def _assert_identical(ra, rp):
+    assert ra.total_gets == rp.total_gets
+    # exact equality on purpose: the arbiter layer must not perturb a
+    # single float operation, let alone a migration decision.
+    assert ra.hit_ratio == rp.hit_ratio
+    assert ra.avg_service_time == rp.avg_service_time
+    assert ra.cache_stats == rp.cache_stats
+    assert ([w.hit_ratio for w in ra.windows]
+            == [w.hit_ratio for w in rp.windows])
+    assert ([w.avg_service_time for w in ra.windows]
+            == [w.avg_service_time for w in rp.windows])
+    assert ra.final_class_slabs == rp.final_class_slabs
+    # tenant 0's queue bins are the plain policy's bins verbatim.
+    assert ra.final_queue_slabs == rp.final_queue_slabs
+
+
+class TestSingleTenantParity:
+    def test_replay_bit_identical_to_plain_pama(self):
+        config = PamaConfig(value_window=10_000)
+        plain = PamaPolicy(config)
+        arb = TenantArbiter(1, config=PamaConfig(value_window=10_000))
+        rp = _run(plain)
+        ra = _run(arb)
+        _assert_identical(ra, rp)
+        # decision counters agree and nothing registered as a steal.
+        assert arb.migrations_approved == plain.migrations_approved
+        assert arb.migrations_declined == plain.migrations_declined
+        assert arb.migrations_forced == plain.migrations_forced
+        assert arb.steal_counts() == {"approved": 0, "declined": 0,
+                                      "forced": 0}
+
+    def test_steal_margin_is_inert_with_one_tenant(self):
+        # The margin only scales cross-tenant donors; with one tenant
+        # it must not shift a single decision.
+        config = PamaConfig(value_window=10_000)
+        ra = _run(TenantArbiter(1, config=config))
+        rb = _run(TenantArbiter(
+            [TenantConfig(name="only", sla_weight=7.0)],
+            config=PamaConfig(value_window=10_000), steal_margin=50.0))
+        _assert_identical(ra, rb)
+
+    def test_tenant_metrics_aggregate_to_globals(self):
+        arb = TenantArbiter(1, config=PamaConfig(value_window=10_000))
+        ra = _run(arb)
+        assert set(ra.tenant_metrics) == {0}
+        m = ra.tenant_metrics[0]
+        assert m["gets"] == ra.total_gets
+        assert m["hit_ratio"] == ra.hit_ratio
+        assert m["avg_service_time"] == ra.avg_service_time
+        assert m["slabs"] == sum(ra.final_queue_slabs.values())
+        assert ra.total_weighted_service_time() == \
+            m["sla_weight"] * m["service_sum"]
+        arb.check_invariants()

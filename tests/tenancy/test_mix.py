@@ -1,0 +1,113 @@
+"""Unit tests for tenant-tagged trace synthesis (repro.tenancy.mix)."""
+
+import numpy as np
+import pytest
+
+from repro.tenancy import TENANT_KEY_STRIDE, TenantSpec, mix_tenants
+from repro.traces.workloads import APP, ETC, SYS
+
+
+def two_specs():
+    return [
+        TenantSpec(name="etc", profile=ETC.scaled(0.02)),
+        TenantSpec(name="app", profile=APP.scaled(0.02), weight=2.0,
+                   penalty_scale=0.5),
+    ]
+
+
+class TestMixTenants:
+    def test_deterministic_for_fixed_seed(self):
+        a = mix_tenants(two_specs(), 5_000, seed=11)
+        b = mix_tenants(two_specs(), 5_000, seed=11)
+        assert (a.ops == b.ops).all()
+        assert (a.keys == b.keys).all()
+        assert (a.penalties == b.penalties).all()
+        assert (a.timestamps == b.timestamps).all()
+        assert (a.tenants == b.tenants).all()
+
+    def test_keys_live_in_disjoint_tenant_bands(self):
+        trace = mix_tenants(two_specs(), 5_000, seed=1)
+        tenants = np.asarray(trace.tenants)
+        bands = np.asarray(trace.keys) // TENANT_KEY_STRIDE
+        assert (bands == tenants).all()
+
+    def test_penalty_scale_applies_per_tenant(self):
+        specs = [
+            TenantSpec(name="cheap", profile=ETC.scaled(0.02),
+                       penalty_scale=1.0),
+            TenantSpec(name="dear", profile=ETC.scaled(0.02),
+                       penalty_scale=100.0),
+        ]
+        trace = mix_tenants(specs, 6_000, seed=2)
+        tenants = np.asarray(trace.tenants)
+        pens = np.asarray(trace.penalties)
+        # Same profile, same sub-seed space: the scaled tenant's mean
+        # penalty must sit far above the unscaled one's.
+        assert pens[tenants == 1].mean() > 10 * pens[tenants == 0].mean()
+
+    def test_arrival_departure_bound_activity(self):
+        specs = [
+            TenantSpec(name="always", profile=ETC.scaled(0.02)),
+            TenantSpec(name="burst", profile=APP.scaled(0.02),
+                       arrival=0.4, departure=0.6),
+        ]
+        n = 10_000
+        trace = mix_tenants(specs, n, seed=5)
+        rows = np.flatnonzero(np.asarray(trace.tenants) == 1)
+        assert len(rows) > 0
+        assert rows.min() >= round(0.4 * n)
+        assert rows.max() < round(0.6 * n)
+
+    def test_weights_shape_request_shares(self):
+        specs = [
+            TenantSpec(name="light", profile=ETC.scaled(0.02), weight=1.0),
+            TenantSpec(name="heavy", profile=ETC.scaled(0.02), weight=4.0),
+        ]
+        trace = mix_tenants(specs, 10_000, seed=8)
+        share = (np.asarray(trace.tenants) == 1).mean()
+        assert 0.7 < share < 0.9  # expectation 0.8
+
+    def test_meta_names_tenants(self):
+        trace = mix_tenants(two_specs(), 1_000, seed=0)
+        assert trace.meta["workload"] == "tenant-mix"
+        assert trace.meta["tenants"] == ["etc", "app"]
+        assert trace.num_tenants == 2
+        assert trace.tenants.dtype == np.uint16
+
+    def test_timestamps_monotonic(self):
+        trace = mix_tenants(two_specs(), 2_000, seed=0)
+        assert (np.diff(trace.timestamps) >= 0).all()
+
+
+class TestMixValidation:
+    def test_rejects_empty_specs(self):
+        with pytest.raises(ValueError):
+            mix_tenants([], 100)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            mix_tenants(two_specs(), 0)
+
+    def test_rejects_uncovered_gap(self):
+        specs = [
+            TenantSpec(name="early", profile=ETC.scaled(0.02),
+                       departure=0.4),
+            TenantSpec(name="late", profile=SYS.scaled(0.02),
+                       arrival=0.6),
+        ]
+        with pytest.raises(ValueError, match="no tenant active"):
+            mix_tenants(specs, 1_000)
+
+    def test_spec_rejects_bad_schedule(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="x", profile=ETC, arrival=0.6, departure=0.4)
+        with pytest.raises(ValueError):
+            TenantSpec(name="x", profile=ETC, arrival=-0.1)
+        with pytest.raises(ValueError):
+            TenantSpec(name="x", profile=ETC, weight=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="x", profile=ETC, penalty_scale=-1.0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="x", profile=ETC, sla_weight=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="x", profile=ETC, reserve_fraction=1.5)

@@ -1,0 +1,150 @@
+"""The tenant column across the trace substrate: v1 <-> v2 compat.
+
+Compiled-trace format v2 adds a ``<u2 tenants`` column; v1 directories
+(no ``tenants.npy``) must keep opening with an implicit all-zero
+column, single-tenant ``.npz`` archives must stay byte-compatible with
+the pre-tenancy writer, and a tenant column whose length disagrees
+with the op column is data corruption the reader must reject (the
+regression in this suite failed before compile-meta validation checked
+per-column shapes).
+"""
+
+import numpy as np
+import pytest
+
+from repro.tenancy import TenantSpec, mix_tenants
+from repro.traces import (ETC, FORMAT_V1, FORMAT_V2, CompiledTrace,
+                          CompiledTraceWriter, Trace, compile_trace,
+                          generate, load_npz, save_npz)
+from repro.traces.compile import COLUMN_DTYPES, describe
+from repro.traces.workloads import APP
+
+
+@pytest.fixture
+def plain_trace():
+    return generate(ETC.scaled(0.02), 4_000, seed=17)
+
+
+@pytest.fixture
+def tenant_trace():
+    specs = [TenantSpec(name="etc", profile=ETC.scaled(0.02)),
+             TenantSpec(name="app", profile=APP.scaled(0.02))]
+    return mix_tenants(specs, 4_000, seed=5)
+
+
+class TestTraceTenants:
+    def test_default_is_zero_broadcast(self, plain_trace):
+        assert plain_trace.tenants.dtype == np.uint16
+        assert len(plain_trace.tenants) == len(plain_trace)
+        assert not plain_trace.tenants.any()
+        assert plain_trace.num_tenants == 1
+
+    def test_slice_and_concat_thread_tenants(self, tenant_trace):
+        part = tenant_trace.slice(100, 300)
+        assert (np.asarray(part.tenants)
+                == np.asarray(tenant_trace.tenants[100:300])).all()
+        glued = tenant_trace.slice(0, 2_000).concat(
+            tenant_trace.slice(2_000, None))
+        assert (np.asarray(glued.tenants)
+                == np.asarray(tenant_trace.tenants)).all()
+
+    def test_length_mismatch_rejected(self, plain_trace):
+        with pytest.raises(ValueError, match="tenants"):
+            Trace(plain_trace.ops, plain_trace.keys,
+                  plain_trace.key_sizes, plain_trace.value_sizes,
+                  plain_trace.penalties, plain_trace.timestamps,
+                  tenants=np.zeros(7, dtype=np.uint16))
+
+
+class TestCompiledV1V2:
+    def test_compile_defaults_to_v2(self, plain_trace, tmp_path):
+        c = compile_trace(plain_trace, tmp_path / "t.ctrc")
+        assert c.format == FORMAT_V2
+        assert (tmp_path / "t.ctrc" / "tenants.npy").exists()
+        assert c.tenants.dtype == COLUMN_DTYPES["tenants"]
+        assert not np.asarray(c.tenants).any()
+
+    def test_v2_roundtrips_tenant_column(self, tenant_trace, tmp_path):
+        c = compile_trace(tenant_trace, tmp_path / "t.ctrc")
+        assert (np.asarray(c.tenants)
+                == np.asarray(tenant_trace.tenants)).all()
+        part = c.slice(500, 1_500)
+        assert (np.asarray(part.tenants)
+                == np.asarray(tenant_trace.tenants[500:1_500])).all()
+        windows = np.concatenate([np.asarray(w.tenants)
+                                  for w in c.iter_windows(1_000)])
+        assert (windows == np.asarray(tenant_trace.tenants)).all()
+
+    def test_v1_directory_opens_with_zero_tenants(self, plain_trace,
+                                                  tmp_path):
+        with CompiledTraceWriter(tmp_path / "v1.ctrc",
+                                 meta=plain_trace.meta,
+                                 format=FORMAT_V1) as w:
+            w.append(plain_trace)
+        assert not (tmp_path / "v1.ctrc" / "tenants.npy").exists()
+        c = CompiledTrace(tmp_path / "v1.ctrc")
+        assert c.format == FORMAT_V1
+        assert len(c.tenants) == len(plain_trace)
+        assert not np.asarray(c.tenants).any()
+        assert (np.asarray(c.keys) == plain_trace.keys).all()
+
+    def test_describe_reports_format_and_tenant_count(self, tenant_trace,
+                                                      plain_trace,
+                                                      tmp_path):
+        two = describe(compile_trace(tenant_trace, tmp_path / "two.ctrc"))
+        assert two["format"] == FORMAT_V2
+        assert two["tenants"] == 2
+        with CompiledTraceWriter(tmp_path / "v1.ctrc",
+                                 format=FORMAT_V1) as w:
+            w.append(plain_trace)
+        one = describe(CompiledTrace(tmp_path / "v1.ctrc"))
+        assert one["format"] == FORMAT_V1
+        assert one["tenants"] == 1
+
+    def test_dict_chunks_may_omit_tenants(self, plain_trace, tmp_path):
+        with CompiledTraceWriter(tmp_path / "t.ctrc") as w:
+            w.append({"ops": plain_trace.ops, "keys": plain_trace.keys,
+                      "key_sizes": plain_trace.key_sizes,
+                      "value_sizes": plain_trace.value_sizes,
+                      "penalties": plain_trace.penalties,
+                      "timestamps": plain_trace.timestamps})
+        c = CompiledTrace(tmp_path / "t.ctrc")
+        assert not np.asarray(c.tenants).any()
+
+
+class TestCorruptTenantColumn:
+    """Regression: a truncated tenant column must fail the open."""
+
+    def test_truncated_tenants_rejected(self, tenant_trace, tmp_path):
+        compile_trace(tenant_trace, tmp_path / "t.ctrc")
+        tenants = np.load(tmp_path / "t.ctrc" / "tenants.npy")
+        np.save(tmp_path / "t.ctrc" / "tenants.npy", tenants[:-9])
+        with pytest.raises(ValueError, match="tenants"):
+            CompiledTrace(tmp_path / "t.ctrc")
+
+    def test_retyped_tenants_rejected(self, tenant_trace, tmp_path):
+        compile_trace(tenant_trace, tmp_path / "t.ctrc")
+        tenants = np.load(tmp_path / "t.ctrc" / "tenants.npy")
+        np.save(tmp_path / "t.ctrc" / "tenants.npy",
+                tenants.astype(np.int64))
+        with pytest.raises(ValueError, match="tenants"):
+            CompiledTrace(tmp_path / "t.ctrc")
+
+
+class TestNpzTenants:
+    def test_tenant_trace_roundtrips(self, tenant_trace, tmp_path):
+        save_npz(tenant_trace, tmp_path / "t.npz")
+        loaded = load_npz(tmp_path / "t.npz")
+        assert (np.asarray(loaded.tenants)
+                == np.asarray(tenant_trace.tenants)).all()
+        assert loaded.num_tenants == 2
+
+    def test_single_tenant_archive_omits_column(self, plain_trace,
+                                                tmp_path):
+        # Pre-tenancy readers must keep loading new single-tenant
+        # archives, so the all-zero column is not written at all.
+        save_npz(plain_trace, tmp_path / "t.npz")
+        with np.load(tmp_path / "t.npz", allow_pickle=False) as data:
+            assert "tenants" not in data.files
+        loaded = load_npz(tmp_path / "t.npz")
+        assert not loaded.tenants.any()
