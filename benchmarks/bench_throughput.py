@@ -14,11 +14,16 @@ smoke runs.
 import os
 import random
 
+import numpy as np
 import pytest
 
 from repro._util import MIB
 from repro.cache import SlabCache, SizeClassConfig
 from repro.policies import make_policy
+from repro.sim.experiment import ExperimentSpec
+from repro.sim.sharded import run_sharded
+from repro.sim.simulator import simulate
+from repro.traces.record import Trace
 
 N_OPS = int(os.environ.get("REPRO_BENCH_OPS", "30000"))
 
@@ -59,6 +64,80 @@ CONFIGS = {
 }
 
 
+# -- replay-engine configurations --------------------------------------------
+# The drive() loop measures raw cache-op cost (RNG included).  The
+# replay-* labels measure the simulator's replay engines on the same
+# workload pre-generated as a columnar trace: scalar loop, vectorized
+# derive pass, and the key-sharded parallel engine — all against the
+# pama+bloom cache, the heaviest tracked configuration.
+
+#: shard count of the ``replay-sharded4`` label.
+REPLAY_SHARDS = 4
+#: the sharded label replays a trace this many times larger than
+#: ``--ops`` so worker startup amortizes; its ops/s stays comparable
+#: (throughput is a rate).
+REPLAY_SHARDED_SCALE = 4 * REPLAY_SHARDS
+
+
+def make_bench_trace(n=N_OPS, seed=7):
+    """All-GET columnar mirror of :func:`drive`'s request distribution.
+
+    Same key space, size mix, and penalty mix as ``drive`` (fill-on-miss
+    replay turns each GET miss into the same lookup-then-set pair), so
+    replay-engine ops/s are comparable with the drive-based labels.
+    """
+    rng = random.Random(seed)
+    randrange = rng.randrange
+    choice = rng.choice
+    sizes = (40, 200, 900, 3000)
+    pens = (0.0005, 0.005, 0.05, 0.5, 2.0)
+    keys = [randrange(20_000) for _ in range(n)]
+    vals = [choice(sizes) for _ in range(n)]
+    penalties = [choice(pens) for _ in range(n)]
+    return Trace(np.zeros(n, np.uint8), np.array(keys, np.int64),
+                 np.full(n, 16, np.int32), np.array(vals, np.int32),
+                 np.array(penalties, np.float64))
+
+
+def replay_spec(cache_bytes=16 * MIB) -> ExperimentSpec:
+    """The pama+bloom replay experiment behind the replay-* labels."""
+    return ExperimentSpec(name="bench", cache_bytes=cache_bytes,
+                          slab_size=64 << 10, base_size=64,
+                          window_gets=1 << 30,  # windows off the hot path
+                          policy_kwargs={"pama": {"value_window": 25_000,
+                                                  "tracker": "bloom"}})
+
+
+def replay_scalar(trace) -> None:
+    cache = replay_spec().build_cache("pama")
+    simulate(trace, cache, window_gets=1 << 30, derive=False)
+
+
+def replay_derive(trace) -> None:
+    cache = replay_spec().build_cache("pama")
+    simulate(trace, cache, window_gets=1 << 30, derive=True)
+
+
+def replay_sharded(trace) -> None:
+    run_sharded(trace, replay_spec(), "pama", shards=REPLAY_SHARDS)
+
+
+#: replay-engine labels tracked in BENCH_throughput.json, mapping to a
+#: whole-replay callable over a :func:`make_bench_trace` trace.
+REPLAY_ENGINES = {
+    "replay-scalar": replay_scalar,
+    "replay-derive": replay_derive,
+    f"replay-sharded{REPLAY_SHARDS}": replay_sharded,
+}
+
+
+def replay_trace_ops(label: str, n_ops: int) -> int:
+    """Trace length behind one replay label at a given ``--ops``."""
+    if label == f"replay-sharded{REPLAY_SHARDS}":
+        return n_ops * REPLAY_SHARDED_SCALE
+    return n_ops
+
+
 @pytest.mark.parametrize("policy", ["memcached", "psa", "lama", "pama",
                                     "pre-pama"])
 def bench_ops_throughput(benchmark, policy):
@@ -72,3 +151,10 @@ def bench_pama_bloom_throughput(benchmark):
     result = benchmark.pedantic(
         lambda: drive(CONFIGS["pama+bloom"]()), rounds=3, iterations=1)
     assert result.stats.gets == N_OPS
+
+
+@pytest.mark.parametrize("engine", ["replay-scalar", "replay-derive"])
+def bench_replay_engine_throughput(benchmark, engine):
+    trace = make_bench_trace(N_OPS)
+    benchmark.pedantic(lambda: REPLAY_ENGINES[engine](trace),
+                       rounds=3, iterations=1)

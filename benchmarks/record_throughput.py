@@ -22,12 +22,14 @@ from __future__ import annotations
 import argparse
 import datetime
 import json
+import os
 import platform
 import sys
 import time
 from pathlib import Path
 
-from bench_throughput import CONFIGS, drive
+from bench_throughput import (CONFIGS, REPLAY_ENGINES, drive,
+                              make_bench_trace, replay_trace_ops)
 
 SCHEMA = "repro-kv/bench-throughput/v1"
 DEFAULT_OUT = Path(__file__).parent / "results" / "BENCH_throughput.json"
@@ -38,20 +40,45 @@ REGRESSION_TOLERANCE = 0.25
 #: floor while a hash-once regression (which hits only the gated
 #: configs) still trips it.
 CALIBRATION_CONFIG = "memcached"
+#: the derive-pass replay engine must beat the committed drive-based
+#: pama+bloom baseline by this factor (host-normalised; full mode only —
+#: quick-mode replays are too short to fill the cache).
+DERIVE_MULTIPLIER = 1.3
+DERIVE_BASELINE_CONFIG = "pama+bloom"
+DERIVE_ENGINE_CONFIG = "replay-derive"
+#: at 4 shards the sharded engine must beat the derive engine by this
+#: factor — only meaningful with >= 4 cores; single-core hosts record
+#: the entry and skip the gate.
+SHARDED_MULTIPLIER = 1.8
+SHARDED_ENGINE_CONFIG = "replay-sharded4"
+SHARDED_MIN_CORES = 4
+
+ALL_LABELS = list(CONFIGS) + list(REPLAY_ENGINES)
 
 
 def measure(n_ops: int, rounds: int, configs) -> dict[str, float]:
     """Best-of-``rounds`` ops/sec per configuration."""
     out = {}
+    traces: dict[int, object] = {}
     for name in configs:
         best = float("inf")
-        for _ in range(rounds):
-            cache = CONFIGS[name]()
-            started = time.perf_counter()
-            drive(cache, n=n_ops)
-            best = min(best, time.perf_counter() - started)
-        out[name] = round(n_ops / best, 1)
-        print(f"  {name:<12} {out[name]:>12,.0f} ops/s")
+        if name in CONFIGS:
+            for _ in range(rounds):
+                cache = CONFIGS[name]()
+                started = time.perf_counter()
+                drive(cache, n=n_ops)
+                best = min(best, time.perf_counter() - started)
+            rate_ops = n_ops
+        else:
+            rate_ops = replay_trace_ops(name, n_ops)
+            trace = traces.setdefault(rate_ops, make_bench_trace(rate_ops))
+            engine = REPLAY_ENGINES[name]
+            for _ in range(rounds):
+                started = time.perf_counter()
+                engine(trace)
+                best = min(best, time.perf_counter() - started)
+        out[name] = round(rate_ops / best, 1)
+        print(f"  {name:<14} {out[name]:>12,.0f} ops/s")
     return out
 
 
@@ -104,6 +131,61 @@ def check(measured: dict[str, float], reference: dict | None,
     return failures
 
 
+def check_engine_multipliers(measured: dict[str, float],
+                             reference: dict | None,
+                             full_mode: bool) -> list[str]:
+    """The replay-engine speedup gates (see module constants).
+
+    * derive: ``replay-derive`` >= 1.3x the committed drive-based
+      ``pama+bloom`` rate, host-normalised via the memcached
+      calibration.  Full mode only — a quick-mode replay is over before
+      the cache fills, so its rate measures a different regime.
+    * sharded: ``replay-sharded4`` >= 1.8x the just-measured
+      ``replay-derive`` — skipped (recorded, not gated) below
+      :data:`SHARDED_MIN_CORES` cores, where the shard replays run
+      serially and the multiplier is unreachable by construction.
+    """
+    failures = []
+    got = measured.get(DERIVE_ENGINE_CONFIG)
+    ref_rates = (reference or {}).get("ops_per_sec", {})
+    ref = ref_rates.get(DERIVE_BASELINE_CONFIG)
+    if got and ref:
+        if not full_mode:
+            print(f"gate {DERIVE_ENGINE_CONFIG} x{DERIVE_MULTIPLIER}: "
+                  "skipped in quick mode (replay too short to fill the "
+                  "cache)")
+        else:
+            scale = 1.0
+            cal_ref = ref_rates.get(CALIBRATION_CONFIG)
+            cal_got = measured.get(CALIBRATION_CONFIG)
+            if cal_ref and cal_got:
+                scale = cal_got / cal_ref
+            floor = ref * scale * DERIVE_MULTIPLIER
+            verdict = "ok" if got >= floor else "TOO SLOW"
+            print(f"gate {DERIVE_ENGINE_CONFIG}: {got:,.0f} ops/s vs "
+                  f"{DERIVE_MULTIPLIER}x baseline {DERIVE_BASELINE_CONFIG} "
+                  f"{ref:,.0f} (floor {floor:,.0f}) -> {verdict}")
+            if got < floor:
+                failures.append(DERIVE_ENGINE_CONFIG)
+    derive = measured.get(DERIVE_ENGINE_CONFIG)
+    sharded = measured.get(SHARDED_ENGINE_CONFIG)
+    if derive and sharded:
+        cores = os.cpu_count() or 1
+        if cores < SHARDED_MIN_CORES:
+            print(f"gate {SHARDED_ENGINE_CONFIG} x{SHARDED_MULTIPLIER}: "
+                  f"recorded, gate skipped ({cores} core(s) < "
+                  f"{SHARDED_MIN_CORES})")
+        else:
+            floor = derive * SHARDED_MULTIPLIER
+            verdict = "ok" if sharded >= floor else "TOO SLOW"
+            print(f"gate {SHARDED_ENGINE_CONFIG}: {sharded:,.0f} ops/s vs "
+                  f"{SHARDED_MULTIPLIER}x {DERIVE_ENGINE_CONFIG} "
+                  f"{derive:,.0f} (floor {floor:,.0f}) -> {verdict}")
+            if sharded < floor:
+                failures.append(SHARDED_ENGINE_CONFIG)
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--ops", type=int, default=30_000,
@@ -113,7 +195,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true",
                         help="CI smoke mode: 10000 ops, 2 rounds")
     parser.add_argument("--configs",
-                        default=",".join(CONFIGS),
+                        default=",".join(ALL_LABELS),
                         help="comma-separated configuration labels")
     parser.add_argument("--label", default="",
                         help="entry label (default: quick/full + date)")
@@ -122,7 +204,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--check", action="store_true",
                         help="fail on >25%% regression of gated configs "
                              "against the committed reference entry")
-    parser.add_argument("--gate", default="pama,pama+bloom",
+    parser.add_argument("--gate", default="pama,pama+bloom,replay-derive",
                         help="comma-separated configs the --check gates")
     parser.add_argument("--dry-run", action="store_true",
                         help="measure and print, do not touch the file")
@@ -132,8 +214,8 @@ def main(argv: list[str] | None = None) -> int:
     rounds = 2 if args.quick else args.rounds
     configs = [c for c in args.configs.split(",") if c]
     for c in configs:
-        if c not in CONFIGS:
-            sys.exit(f"unknown config {c!r}; choose from {list(CONFIGS)}")
+        if c not in CONFIGS and c not in REPLAY_ENGINES:
+            sys.exit(f"unknown config {c!r}; choose from {ALL_LABELS}")
 
     mode = "quick" if args.quick else "full"
     print(f"measuring {len(configs)} configs, {n_ops} ops x {rounds} rounds "
@@ -143,8 +225,11 @@ def main(argv: list[str] | None = None) -> int:
     doc = load(args.out)
     failures = []
     if args.check:
-        failures = check(measured, reference_entry(doc["entries"], n_ops),
+        reference = reference_entry(doc["entries"], n_ops)
+        failures = check(measured, reference,
                          [g for g in args.gate.split(",") if g])
+        failures += check_engine_multipliers(measured, reference,
+                                             full_mode=not args.quick)
 
     if not args.dry_run:
         doc["entries"].append({

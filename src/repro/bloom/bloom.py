@@ -4,11 +4,14 @@ PAMA uses one Bloom filter per reference segment to answer "did this
 request land in segment Sk?" in O(1) without scanning the LRU stack
 (paper §III, third challenge).
 
-The bit array is a single Python int (an arbitrary-precision bitset):
-probing is plain shift/mask arithmetic, population count is one
-``int.bit_count`` call, and the hot paths (``add_hashes`` /
-``contains_hashes``) take a precomputed :func:`~repro.bloom.hashing.hash_pair`
-so a request's key is hashed once, not once per filter.
+The bit array is a ``bytearray`` probed byte-at-a-time: a probe costs
+two shifts and an index on machine-word ints, and — unlike the earlier
+single-big-int bitset — never copies the whole array (shifting an
+``nbits``-wide int allocates an ``nbits``-wide temporary *per probe*,
+which dominated the replay profile).  The hot paths (``add_hashes`` /
+``contains_hashes``) take a precomputed
+:func:`~repro.bloom.hashing.hash_pair` so a request's key is hashed
+once, not once per filter.
 """
 
 from __future__ import annotations
@@ -49,7 +52,7 @@ class BloomFilter:
     bit-identical behaviour to the key-based API.
     """
 
-    __slots__ = ("nbits", "nhashes", "seed", "_bits", "_mask", "count")
+    __slots__ = ("nbits", "nhashes", "seed", "_ba", "_mask", "count")
 
     def __init__(self, capacity: int = 1024, fp_rate: float = 0.01,
                  *, nbits: int | None = None, nhashes: int | None = None,
@@ -65,11 +68,17 @@ class BloomFilter:
         self.seed = seed
         #: probe mask when nbits is a power of two, else 0 (modulo path).
         self._mask = nbits - 1 if nbits & (nbits - 1) == 0 else 0
-        #: the bitset: bit ``p`` set ⇔ some member probed position ``p``.
-        self._bits = 0
+        #: the bitset: bit ``p`` of the little-endian byte array is set
+        #: ⇔ some member probed position ``p``.
+        self._ba = bytearray((nbits + 7) >> 3)
         #: number of ``add`` calls since the last clear (an upper bound on
         #: the number of distinct members).
         self.count = 0
+
+    @property
+    def _bits(self) -> int:
+        """The bitset as one int (inspection/tests; not a hot path)."""
+        return int.from_bytes(self._ba, "little")
 
     def add(self, key: object) -> None:
         """Insert ``key`` into the filter."""
@@ -78,16 +87,17 @@ class BloomFilter:
 
     def add_hashes(self, h1: int, h2: int) -> None:
         """Insert by precomputed base pair (the hash-once fast path)."""
-        bits = self._bits
+        ba = self._ba
         mask = self._mask
         if mask:
             for i in range(self.nhashes):
-                bits |= 1 << ((h1 + i * h2) & mask)
+                p = (h1 + i * h2) & mask
+                ba[p >> 3] |= 1 << (p & 7)
         else:
             nbits = self.nbits
             for i in range(self.nhashes):
-                bits |= 1 << (((h1 + i * h2) & _MASK64) % nbits)
-        self._bits = bits
+                p = ((h1 + i * h2) & _MASK64) % nbits
+                ba[p >> 3] |= 1 << (p & 7)
         self.count += 1
 
     def __contains__(self, key: object) -> bool:
@@ -97,22 +107,24 @@ class BloomFilter:
     def contains_hashes(self, h1: int, h2: int) -> bool:
         """Membership by precomputed base pair; early-exits on the first
         clear bit instead of materialising all probe positions."""
-        bits = self._bits
+        ba = self._ba
         mask = self._mask
         if mask:
             for i in range(self.nhashes):
-                if not (bits >> ((h1 + i * h2) & mask)) & 1:
+                p = (h1 + i * h2) & mask
+                if not ba[p >> 3] >> (p & 7) & 1:
                     return False
         else:
             nbits = self.nbits
             for i in range(self.nhashes):
-                if not (bits >> (((h1 + i * h2) & _MASK64) % nbits)) & 1:
+                p = ((h1 + i * h2) & _MASK64) % nbits
+                if not ba[p >> 3] >> (p & 7) & 1:
                     return False
         return True
 
     def clear(self) -> None:
         """Reset to the empty filter."""
-        self._bits = 0
+        self._ba = bytearray(len(self._ba))
         self.count = 0
 
     def saturation(self) -> float:

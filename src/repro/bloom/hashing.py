@@ -21,6 +21,11 @@ _MASK64 = (1 << 64) - 1
 #: pair; shared by :func:`hash_pair` and :func:`double_hashes`.
 PAIR_SEED_DELTA = 0x5BD1E995
 
+#: seed separating key partitioning (server shards, sharded replay)
+#: from every other hash family in the repo (bloom probes, fault
+#: draws, backoff jitter).
+SHARD_SEED = 0x51A8D
+
 # splitmix64 constants (Steele, Lea, Flood — "Fast splittable PRNGs").
 _SM_GAMMA = 0x9E3779B97F4A7C15
 _SM_MUL1 = 0xBF58476D1CE4E5B9
@@ -68,6 +73,76 @@ def hash_key(key: object, seed: int = 0) -> int:
     if isinstance(key, (bytes, bytearray)):
         return splitmix64(fnv1a64(bytes(key)) ^ (seed * _SM_GAMMA) & _MASK64)
     raise TypeError(f"unhashable key type for bloom filter: {type(key)!r}")
+
+
+def hash_key_array(keys, seed: int = 0):
+    """Vectorized :func:`hash_key` over an integer key column.
+
+    Returns a ``uint64`` NumPy array that matches ``hash_key(k, seed)``
+    element-wise for every int64/uint64 key: a signed column is viewed
+    as its two's-complement uint64 bits, which is exactly the value the
+    scalar path's ``& MASK64`` arithmetic reduces a negative Python int
+    to.  This is the derive pass's bulk hasher (one vector op chain per
+    trace window instead of two Python calls per request).
+    """
+    import numpy as np
+
+    keys = np.asarray(keys)
+    if keys.dtype == np.int64:
+        x = keys.view(np.uint64)
+    elif keys.dtype == np.uint64:
+        x = keys
+    else:
+        x = keys.astype(np.int64).view(np.uint64)
+    u = np.uint64
+    x = (x ^ u((seed * _SM_GAMMA) & _MASK64)) + u(_SM_GAMMA)
+    x = (x ^ (x >> u(30))) * u(_SM_MUL1)
+    x = (x ^ (x >> u(27))) * u(_SM_MUL2)
+    return x ^ (x >> u(31))
+
+
+def hash_pair_arrays(keys):
+    """Vectorized :func:`hash_pair`: ``(h1, h2)`` uint64 columns.
+
+    ``h2`` is forced odd exactly like the scalar pair, so the arrays can
+    feed every ``*_hashes`` fast path (an ``h2`` of 0 still means "pair
+    absent" — a real ``h2`` is never even).
+    """
+    import numpy as np
+
+    return (hash_key_array(keys, 0),
+            hash_key_array(keys, PAIR_SEED_DELTA) | np.uint64(1))
+
+
+def key_shard(key: object, nshards: int) -> int:
+    """Deterministic partition index for any cache key (int/str/bytes).
+
+    The one key-partitioning function in the repo: the async server
+    routes connections' keys with it and the sharded replay engine
+    splits a trace with it, so a simulated shard sees exactly the keys
+    the equivalent server shard would.  Uses :func:`hash_key` under the
+    dedicated :data:`SHARD_SEED` so routing stays uncorrelated with
+    filter probes and stable across processes and runs.
+    """
+    if nshards <= 1:
+        return 0
+    return hash_key(key, SHARD_SEED) % nshards
+
+
+def key_shard_array(keys, nshards: int):
+    """Vectorized :func:`key_shard` over an integer key column.
+
+    Returns an int64 NumPy array agreeing element-wise with the scalar
+    routing (the derive pass uses it to mask one shard's rows out of a
+    trace window).
+    """
+    import numpy as np
+
+    keys = np.asarray(keys)
+    if nshards <= 1:
+        return np.zeros(len(keys), dtype=np.int64)
+    return (hash_key_array(keys, SHARD_SEED)
+            % np.uint64(nshards)).astype(np.int64)
 
 
 def hash_pair(key: object, seed: int = 0) -> tuple[int, int]:

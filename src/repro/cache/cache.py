@@ -107,11 +107,15 @@ class SlabCache:
         The cache only pushes cold-path notes (evictions, migrations);
         per-request window accounting stays with the replay loop that
         owns the global tick.
+
+        Always re-points ``snapshot_fn`` at *this* cache: a recorder
+        reused across caches must not keep snapshotting the first one
+        it met (that stale hook silently froze Fig 3/4 series when a
+        TimelineRecorder outlived a simulator).
         """
         self.timeline = timeline
-        if timeline.snapshot_fn is None:
-            timeline.snapshot_fn = lambda: (self.class_slab_distribution(),
-                                            self.slab_distribution())
+        timeline.snapshot_fn = lambda: (self.class_slab_distribution(),
+                                        self.slab_distribution())
 
     def update_obs_gauges(self) -> None:
         """Refresh point-in-time gauges (called on stats/export, not in
@@ -245,6 +249,82 @@ class SlabCache:
             if self._pending_migrations:
                 self._flush_migrations()
 
+    def lookup_hashed(self, key: object, key_size: int, value_size: int,
+                      penalty: float, h1: int, h2: int,
+                      class_idx: int, bin_idx: int) -> Item | None:
+        """:meth:`lookup` with the derived columns precomputed.
+
+        The derive pass (:mod:`repro.sim.derive`) supplies per-request
+        values this method would otherwise compute:
+
+        * ``(h1, h2)`` — the key's base hash pair (``0, 0`` when the
+          policy does not want hashes, exactly like :meth:`lookup`);
+        * ``class_idx`` — the size class for ``key_size + value_size``;
+          ``-1`` when the item is too large or ``key_size < 0``, ``-2``
+          when the sizes are invalid (non-positive) and the scalar
+          path's :class:`InvalidItemError` must be re-raised;
+        * ``bin_idx`` — ``policy.bin_for(penalty)``, valid only for
+          policies with static :meth:`~repro.policies.base.AllocationPolicy.bin_edges`;
+          ``-1`` re-dispatches to ``bin_for`` (NaN/negative penalties,
+          so invalid input raises exactly where the scalar path does).
+
+        Behaviour is identical to :meth:`lookup`; only the computation
+        is hoisted out of the per-request path.
+        """
+        self.accesses += 1
+        stats = self.stats
+        stats.gets += 1
+        self._in_operation = True
+        try:
+            item = self.index.get(key)
+            if item is not None and item.expires_at \
+                    and self.clock() >= item.expires_at:
+                self._unlink(item)
+                stats.expired += 1
+                if self.obs is not None:
+                    self._c_expired.inc()
+                item = None
+            if item is not None:
+                queue = self.queues[(item.class_idx, item.bin_idx)]
+                qstats = queue.stats
+                qstats.gets += 1
+                qstats.hits += 1
+                stats.hits += 1
+                if self.obs is not None:
+                    self._c_gets.inc()
+                    self._c_hits.inc()
+                self.policy.on_hit(queue, item, h1, h2)
+                queue.lru.move_to_front(item)
+                item.last_access = self.accesses
+                return item
+            # miss
+            stats.misses += 1
+            if self.obs is not None:
+                self._c_gets.inc()
+                self._c_misses.inc()
+            if key_size >= 0:
+                if class_idx == -2:
+                    # invalid sizes: raise the scalar path's error
+                    self.size_classes.class_for_size(key_size + value_size)
+                if penalty == penalty:  # not NaN
+                    stats.total_miss_penalty += penalty
+                    if bin_idx < 0:
+                        bin_idx = self.policy.bin_for(penalty)
+                else:
+                    bin_idx = 0
+                if class_idx >= 0:
+                    q = self.queue_for(class_idx, bin_idx)
+                    q.stats.gets += 1
+                    q.stats.misses += 1
+            else:
+                class_idx = -1
+            self.policy.on_miss(key, class_idx, penalty, h1, h2)
+            return None
+        finally:
+            self._in_operation = False
+            if self._pending_migrations:
+                self._flush_migrations()
+
     def set(self, key: object, key_size: int, value_size: int,
             penalty: float, value: object = None,
             expires_at: float = 0.0) -> bool:
@@ -276,6 +356,52 @@ class SlabCache:
             queue = self.queue_for(class_idx, bin_idx)
             item = Item(key, key_size, value_size, penalty, class_idx,
                         bin_idx, value, expires_at)
+            try:
+                self._ensure_slot(queue)
+            except OutOfMemoryError:
+                self.stats.set_failures += 1
+                if self.obs is not None:
+                    self._c_set_failures.inc()
+                return False
+            queue.lru.push_front(item)
+            item.last_access = self.accesses
+            self.cas_tick += 1
+            item.cas = self.cas_tick
+            self.index[key] = item
+            queue.stats.sets += 1
+            self.stats.sets += 1
+            if self.obs is not None:
+                self._c_sets.inc()
+            self.policy.on_insert(queue, item)
+            return True
+        finally:
+            self._in_operation = False
+            if self._pending_migrations:
+                self._flush_migrations()
+
+    def set_classed(self, key: object, key_size: int, value_size: int,
+                    penalty: float, class_idx: int, bin_idx: int) -> bool:
+        """:meth:`set` with the size class and penalty bin precomputed.
+
+        The derive pass only takes this path for rows it proved valid
+        (``class_idx >= 0`` and ``bin_idx >= 0``): sizes positive and
+        within the largest class, penalty finite and non-negative —
+        precisely the checks :meth:`set` performs before computing the
+        same two values.  Rows with any sentinel fall back to
+        :meth:`set` so invalid input raises (or rejects) exactly as the
+        scalar path would.  No ``value``/``expires_at``: trace replay
+        stores size-only items.
+        """
+        self.accesses += 1
+        self._in_operation = True
+        try:
+            old = self.index.get(key)
+            if old is not None:
+                self._unlink(old)
+
+            queue = self.queue_for(class_idx, bin_idx)
+            item = Item(key, key_size, value_size, penalty, class_idx,
+                        bin_idx)
             try:
                 self._ensure_slot(queue)
             except OutOfMemoryError:

@@ -68,6 +68,15 @@ class SizeClassConfig:
         return len(self._slot_sizes)
 
     @property
+    def slot_sizes(self) -> tuple[int, ...]:
+        """Ascending slot sizes, one per class (read-only).
+
+        The derive pass binary-searches this tuple to vectorize
+        :meth:`class_for_size` over a whole trace window.
+        """
+        return self._slot_sizes
+
+    @property
     def max_item_size(self) -> int:
         """Largest storable item (one whole slab)."""
         return self._slot_sizes[-1]

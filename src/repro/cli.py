@@ -225,13 +225,29 @@ def cmd_simulate(args) -> int:
                           slab_size=parse_size(args.slab_size),
                           hit_time=args.hit_time, window_gets=args.window)
     specs = size_specs(base, sizes) if len(sizes) > 1 else [base]
-    grid = run_grid(trace, specs, [args.policy], jobs=args.jobs or None)
-    grid.raise_failures()
+    shards = getattr(args, "replay_shards", 1)
+    if shards > 1:
+        # The key-sharded engine partitions ONE replay across workers
+        # (repro.sim.sharded); --jobs sizes its pool instead of the grid.
+        from repro.sim.sharded import run_sharded
+
+        results = {spec.name: run_sharded(trace, spec, args.policy,
+                                          shards=shards,
+                                          jobs=args.jobs or None)
+                   for spec in specs}
+    else:
+        grid = run_grid(trace, specs, [args.policy], jobs=args.jobs or None)
+        grid.raise_failures()
+        results = {spec.name: grid.results[(spec.name, args.policy)]
+                   for spec in specs}
     for i, spec in enumerate(specs):
-        result = grid.results[(spec.name, args.policy)]
+        result = results[spec.name]
         if i:
             print()
         print(f"policy           {result.policy}")
+        if shards > 1:
+            print(f"shards           {shards} "
+                  f"({fmt_bytes(spec.cache_bytes // shards)} each)")
         print(f"cache            {fmt_bytes(spec.cache_bytes)} "
               f"({spec.cache_bytes // spec.slab_size} slabs)")
         print(f"GETs             {result.total_gets}")
@@ -599,19 +615,39 @@ def cmd_profile(args) -> int:
     kwargs = {}
     if args.policy in ("pama", "pre-pama"):
         kwargs["tracker"] = args.tracker
-    cache = SlabCache(parse_size(args.cache_size),
-                      make_policy(args.policy, **kwargs),
-                      SizeClassConfig(slab_size=parse_size(args.slab_size)))
-    sim = Simulator(cache, ServiceTimeModel(hit_time=args.hit_time),
-                    window_gets=args.window)
+    shards = getattr(args, "replay_shards", 1)
     profiler = cProfile.Profile()
-    profiler.enable()
-    result = sim.run(trace)
-    profiler.disable()
+    if shards > 1:
+        # Profile the sharded engine serially in-process (jobs=1):
+        # subprocess workers would run outside the profiler.
+        from repro.sim.experiment import ExperimentSpec
+        from repro.sim.sharded import run_sharded
+
+        spec = ExperimentSpec(name="profile",
+                              cache_bytes=parse_size(args.cache_size),
+                              slab_size=parse_size(args.slab_size),
+                              hit_time=args.hit_time,
+                              window_gets=args.window,
+                              policy_kwargs={args.policy: kwargs})
+        profiler.enable()
+        result = run_sharded(trace, spec, args.policy, shards=shards,
+                             jobs=1)
+        profiler.disable()
+    else:
+        cache = SlabCache(parse_size(args.cache_size),
+                          make_policy(args.policy, **kwargs),
+                          SizeClassConfig(
+                              slab_size=parse_size(args.slab_size)))
+        sim = Simulator(cache, ServiceTimeModel(hit_time=args.hit_time),
+                        window_gets=args.window)
+        profiler.enable()
+        result = sim.run(trace)
+        profiler.disable()
     rate = len(trace) / result.elapsed_seconds if result.elapsed_seconds else 0
     tracker = f", {args.tracker} tracker" if kwargs else ""
-    print(f"replayed {len(trace)} requests under {args.policy}{tracker}: "
-          f"hit ratio {result.hit_ratio:.4f}, "
+    sharded = f", {shards} shards" if shards > 1 else ""
+    print(f"replayed {len(trace)} requests under {args.policy}{tracker}"
+          f"{sharded}: hit ratio {result.hit_ratio:.4f}, "
           f"{rate:,.0f} ops/s (with profiler overhead)")
     print()
     pstats.Stats(profiler).sort_stats(args.sort).print_stats(args.top)
@@ -665,6 +701,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_cache_args(s)
     _add_jobs_arg(s)
     s.add_argument("--policy", default="pama", choices=POLICY_NAMES)
+    s.add_argument("--replay-shards", type=int, default=1,
+                   help="partition the single replay over N key shards "
+                        "(repro.sim.sharded; capacity splits evenly, "
+                        ">1 is the server's sharding approximation)")
     s.add_argument("--chart", action="store_true", help="ASCII chart output")
     s.add_argument("--tenants",
                    help="comma-separated workload profiles (e.g. etc,app) "
@@ -792,6 +832,10 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--tracker", default="bloom",
                     choices=["exact", "bloom"],
                     help="PAMA segment tracker (pama/pre-pama only)")
+    pr.add_argument("--replay-shards", type=int, default=1,
+                    help="profile the key-sharded replay engine with N "
+                         "shards (run serially in-process so the "
+                         "profiler sees the workers)")
     pr.add_argument("--top", type=int, default=20,
                     help="how many functions to print")
     pr.add_argument("--sort", default="cumulative",

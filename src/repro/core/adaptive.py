@@ -103,6 +103,10 @@ class AdaptivePamaPolicy(PamaPolicy):
         idx = bisect_left(self.learned_edges, penalty)
         return min(idx, len(self.learned_edges) - 1)
 
+    def bin_edges(self) -> tuple[float, ...] | None:
+        # Binning re-learns mid-replay; precomputed bins would go stale.
+        return None
+
     def on_insert(self, queue, item) -> None:
         self.observe_penalty(item.penalty)
         super().on_insert(queue, item)

@@ -82,6 +82,14 @@ class PamaPolicy(AllocationPolicy):
             b = self._bin_cache[penalty] = self.config.bin_for(penalty)
         return b
 
+    def bin_edges(self) -> tuple[float, ...] | None:
+        # Static config edges — but only while this exact memoized
+        # bin_for is the one in effect; a subclass that re-bins
+        # (adaptive edges) must fall back to the scalar path.
+        if type(self).bin_for is PamaPolicy.bin_for:
+            return self.config.penalty_edges
+        return None
+
     # -- per-queue state --------------------------------------------------
     def on_queue_created(self, queue: Queue) -> None:
         cfg = self.config

@@ -27,3 +27,10 @@ class PrePamaPolicy(PamaPolicy):
 
     def bin_for(self, penalty: float) -> int:
         return 0
+
+    def bin_edges(self) -> tuple[float, ...] | None:
+        # Everything lands in bin 0 — the same "no edges" contract the
+        # penalty-blind base policies use.
+        if type(self).bin_for is PrePamaPolicy.bin_for:
+            return ()
+        return None

@@ -17,28 +17,29 @@ Two things live here:
 
 from __future__ import annotations
 
-from repro.bloom.hashing import hash_key
+from repro.bloom.hashing import SHARD_SEED, key_shard
 from repro.cache.cache import SlabCache
 from repro.cache.sizeclasses import SizeClassConfig
 from repro.cache.stats import CacheStats
 from repro.server import protocol as p
 
-#: seed separating shard routing from every other hash family in the
-#: repo (bloom probes, fault draws, backoff jitter).
-SHARD_SEED = 0x51A8D
+__all__ = ["SHARD_SEED", "shard_of", "ShardSet", "StoreFailed",
+           "STORE_FAILED", "INCR_STORE_FAILED_MSG", "apply_storage",
+           "apply_incr_decr"]
 
 
-def shard_of(key: str, nshards: int) -> int:
+def shard_of(key: object, nshards: int) -> int:
     """Deterministic shard index for ``key`` (splitmix64 over the key).
 
-    Uses the same :func:`~repro.bloom.hashing.hash_key` construction as
-    the Bloom filters (FNV-1a folded through splitmix64 for text keys)
-    under a dedicated seed, so routing is uncorrelated with filter
-    probes and stable across processes and runs.
+    Key-type-agnostic: text keys hash via FNV-1a folded through
+    splitmix64, int keys (the simulator's interned ids) take the
+    splitmix64 fast path directly — no ``str()`` round-trip.  This is
+    :func:`repro.bloom.hashing.key_shard`, shared with the sharded
+    replay engine so a simulated shard and a server shard agree on
+    every key; assignments for ``str`` keys are unchanged (pinned by
+    the back-compat tests).
     """
-    if nshards <= 1:
-        return 0
-    return hash_key(key, SHARD_SEED) % nshards
+    return key_shard(key, nshards)
 
 
 class ShardSet:
@@ -67,10 +68,10 @@ class ShardSet:
             SlabCache(per_shard, policy_factory(), classes, clock=clock)
             for _ in range(nshards)]
 
-    def shard_index(self, key: str) -> int:
+    def shard_index(self, key: object) -> int:
         return shard_of(key, self.nshards)
 
-    def shard_for(self, key: str) -> SlabCache:
+    def shard_for(self, key: object) -> SlabCache:
         return self.shards[shard_of(key, self.nshards)]
 
     def attach_obs(self, registry, events=None) -> None:

@@ -1,5 +1,8 @@
 """Trace-driven simulation, metrics, experiments, and reporting."""
 
+from repro.sim.derive import (class_index_array, derived_rows,
+                              hash_key_array, hash_pair_arrays,
+                              key_shard_array, penalty_bin_array)
 from repro.sim.experiment import (ComparisonResult, ExperimentSpec,
                                   run_comparison, sweep_cache_sizes)
 from repro.sim.metrics import MetricsCollector, WindowStats
@@ -9,6 +12,7 @@ from repro.sim.parallel import (GridFailure, GridResult, GridTask,
 from repro.sim.report import (ascii_chart, comparison_summary, format_table,
                               series_csv)
 from repro.sim.service import ServiceTimeModel
+from repro.sim.sharded import run_sharded, shard_windows
 from repro.sim.simulator import SimulationResult, Simulator, simulate
 
 __all__ = [
@@ -19,5 +23,8 @@ __all__ = [
     "sweep_cache_sizes", "run_comparison_parallel", "sweep_parallel",
     "run_grid", "GridTask", "GridResult", "GridFailure",
     "default_jobs", "size_specs",
+    "run_sharded", "shard_windows",
+    "class_index_array", "penalty_bin_array", "derived_rows",
+    "hash_key_array", "hash_pair_arrays", "key_shard_array",
     "format_table", "series_csv", "ascii_chart", "comparison_summary",
 ]

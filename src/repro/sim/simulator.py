@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 from repro import obs as _obs
 from repro.cache.cache import SlabCache
+from repro.sim.derive import derive_unsupported_reason, derived_rows
 from repro.sim.metrics import MetricsCollector, WindowStats
 from repro.sim.service import ServiceTimeModel
 from repro.traces.record import Trace
@@ -173,7 +174,7 @@ class Simulator:
         return (self.cache.class_slab_distribution(),
                 self.cache.slab_distribution())
 
-    def run(self, trace) -> SimulationResult:
+    def run(self, trace, derive: bool | None = None) -> SimulationResult:
         """Replay a trace source to completion and return the result.
 
         ``trace`` is a :class:`Trace`, a
@@ -181,6 +182,18 @@ class Simulator:
         bounded :class:`Trace` windows; streaming sources replay with
         memory bounded by the window and results identical to the
         whole-trace replay.
+
+        ``derive`` selects the vectorized derive pass
+        (:mod:`repro.sim.derive`): ``None`` (default) uses it when the
+        replay qualifies *and* the policy hashes keys per request
+        (Bloom-tracked policies — the configs where hoisting the hash
+        pair out of the loop pays for the pass; for hash-free policies
+        the scalar loop computes class/bin only on misses, so deriving
+        every row costs more than it saves), ``True`` requires it for
+        any supported replay (raises ``ValueError`` with the reason
+        when it cannot run), ``False`` forces the scalar loops.
+        Results are ``==``-identical either way — the derive pass only
+        precomputes what the scalar loop would compute per request.
 
         Each run gets a fresh :class:`MetricsCollector`: reusing the
         one from a previous run would carry its windows and totals into
@@ -195,7 +208,10 @@ class Simulator:
             attach = getattr(cache, "attach_timeline", None)
             if attach is not None:
                 attach(timeline)
-            elif timeline.snapshot_fn is None:
+            else:
+                # Re-bind unconditionally: a recorder reused across
+                # simulators must snapshot *this* run's cache, not the
+                # first cache it ever met.
                 timeline.snapshot_fn = self._snapshot
         fill = self.fill_on_miss
         cache_set = cache.set
@@ -242,11 +258,27 @@ class Simulator:
             raise ValueError(
                 "fault injection and tenant arbitration are not combinable "
                 "yet: the fault-aware loop does not tag requests by tenant")
-        rows = (_trace_rows_tenants(trace, service) if wants_tenants
+        # The derive pass replaces the scalar row stream with one that
+        # carries precomputed hash pairs / size classes / penalty bins
+        # (repro.sim.derive); ==-identical results, vectorized setup.
+        reason = derive_unsupported_reason(
+            cache, cache.policy, faults=self.faults, timeline=timeline,
+            hist=hist, wants_tenants=wants_tenants)
+        if derive is True and reason is not None:
+            raise ValueError(f"derive pass unavailable: {reason}")
+        use_derive = (derive is True
+                      or (derive is None and reason is None
+                          and cache._wants_hashes))
+        rows = (derived_rows(trace, service, cache.size_classes,
+                             cache.policy.bin_edges(), cache._wants_hashes)
+                if use_derive
+                else _trace_rows_tenants(trace, service) if wants_tenants
                 else _trace_rows(trace, service))
         cache_lookup = cache.lookup
         cache_delete = cache.delete
-        if wants_tenants:
+        if use_derive:
+            self._replay_derived(rows, metrics, service)
+        elif wants_tenants:
             tenant_metrics = self._replay_tenants(
                 rows, metrics, service, hist, hist_hit, hist_miss,
                 timeline, registry)
@@ -328,6 +360,78 @@ class Simulator:
                             if hist_miss is not None else {}),
             tenant_metrics=tenant_metrics,
         )
+
+    def _replay_derived(self, rows, metrics: MetricsCollector,
+                        service: ServiceTimeModel) -> None:
+        """The derived replay loop over 10-column rows.
+
+        Dispatches every request through the precomputed entry points
+        (:meth:`~repro.cache.cache.SlabCache.lookup_hashed` /
+        :meth:`~repro.cache.cache.SlabCache.set_classed`); rows carrying
+        a derive sentinel (unknown/invalid class, invalid penalty, or a
+        negative value size a SET must reject) fall back to the scalar
+        :meth:`~repro.cache.cache.SlabCache.set` so validation errors
+        raise exactly as the scalar loop raises them.
+        """
+        cache = self.cache
+        fill = self.fill_on_miss
+        lookup_hashed = cache.lookup_hashed
+        set_classed = cache.set_classed
+        cache_set = cache.set
+        cache_delete = cache.delete
+        record_hit = metrics.record_hit
+        record_miss = metrics.record_miss
+        if service.bandwidth is None:
+            hit_cost = service.hit_time
+            for (op, key, key_size, value_size, penalty, miss_cost,
+                 h1, h2, class_idx, bin_idx) in rows:
+                if op == 0:  # GET
+                    if lookup_hashed(key, key_size, value_size, penalty,
+                                     h1, h2, class_idx, bin_idx) is not None:
+                        record_hit(hit_cost)
+                    else:
+                        record_miss(miss_cost)
+                        if fill:
+                            if class_idx >= 0 and bin_idx >= 0 \
+                                    and value_size >= 0:
+                                set_classed(key, key_size, value_size,
+                                            penalty, class_idx, bin_idx)
+                            else:
+                                cache_set(key, key_size, value_size, penalty)
+                elif op == 1:  # SET
+                    if class_idx >= 0 and bin_idx >= 0 and value_size >= 0:
+                        set_classed(key, key_size, value_size, penalty,
+                                    class_idx, bin_idx)
+                    else:
+                        cache_set(key, key_size, value_size, penalty)
+                else:  # DELETE
+                    cache_delete(key)
+        else:
+            service_hit = service.hit
+            for (op, key, key_size, value_size, penalty, miss_cost,
+                 h1, h2, class_idx, bin_idx) in rows:
+                if op == 0:  # GET
+                    item = lookup_hashed(key, key_size, value_size, penalty,
+                                         h1, h2, class_idx, bin_idx)
+                    if item is not None:
+                        record_hit(service_hit(item.total_size))
+                    else:
+                        record_miss(miss_cost)
+                        if fill:
+                            if class_idx >= 0 and bin_idx >= 0 \
+                                    and value_size >= 0:
+                                set_classed(key, key_size, value_size,
+                                            penalty, class_idx, bin_idx)
+                            else:
+                                cache_set(key, key_size, value_size, penalty)
+                elif op == 1:  # SET
+                    if class_idx >= 0 and bin_idx >= 0 and value_size >= 0:
+                        set_classed(key, key_size, value_size, penalty,
+                                    class_idx, bin_idx)
+                    else:
+                        cache_set(key, key_size, value_size, penalty)
+                else:  # DELETE
+                    cache_delete(key)
 
     def _replay_tenants(self, rows, metrics: MetricsCollector,
                         service: ServiceTimeModel, hist, hist_hit,
@@ -560,14 +664,16 @@ class Simulator:
 def simulate(trace, cache: SlabCache, *,
              hit_time: float = 1e-4, window_gets: int = 100_000,
              fill_on_miss: bool = True, obs=None, faults=None,
-             timeline=None, tracing=None) -> SimulationResult:
+             timeline=None, tracing=None,
+             derive: bool | None = None) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`.
 
     ``trace`` accepts every :meth:`Simulator.run` source, including
-    streaming :class:`~repro.traces.compile.CompiledTrace` replays.
+    streaming :class:`~repro.traces.compile.CompiledTrace` replays;
+    ``derive`` is forwarded to :meth:`Simulator.run`.
     """
     sim = Simulator(cache, ServiceTimeModel(hit_time=hit_time),
                     window_gets=window_gets, fill_on_miss=fill_on_miss,
                     obs=obs, faults=faults, timeline=timeline,
                     tracing=tracing)
-    return sim.run(trace)
+    return sim.run(trace, derive=derive)

@@ -219,6 +219,11 @@ class TenantArbiter(AllocationPolicy):
         t = self.current_tenant
         return t * self._nbins + self._inners[t].bin_for(penalty)
 
+    def bin_edges(self) -> tuple[float, ...] | None:
+        # The bin depends on ``current_tenant``, re-pointed before every
+        # request — there is no static edge table to precompute from.
+        return None
+
     # -- event dispatch ------------------------------------------------
     def on_queue_created(self, queue: Queue) -> None:
         self._inners[queue.bin_idx // self._nbins].on_queue_created(queue)

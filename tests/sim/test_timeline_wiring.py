@@ -112,3 +112,45 @@ class TestObservationalPurity:
         hits = sum(timeline.series("hits"))
         gets = sum(timeline.series("gets"))
         assert hits / gets == pytest.approx(result.hit_ratio)
+
+
+class TestRecorderRebindsPerRun:
+    """Regression: a recorder reused across runs snapshots the *current*
+    cache.
+
+    ``snapshot_fn`` used to be set only when it was still ``None``, so a
+    TimelineRecorder that outlived its first simulator kept snapshotting
+    the first cache it met — the Fig 3/4 slab series silently froze.
+    Both rebinding sites (``SlabCache.attach_timeline`` and the
+    simulator's attach fallback) now re-point the hook every run.
+    """
+
+    def test_reused_recorder_snapshots_second_cache(self):
+        trace = _trace()
+        timeline = obs.TimelineRecorder(stride=STRIDE)
+        first = SlabCache(2 * MIB, make_policy("pama", value_window=STRIDE),
+                          SizeClassConfig(slab_size=64 << 10))
+        simulate(trace, first, window_gets=STRIDE, timeline=timeline)
+        second = _fresh_cache()  # 4 MiB: ends with a different layout
+        result = simulate(trace, second, window_gets=STRIDE,
+                          timeline=timeline)
+        assert (first.class_slab_distribution()
+                != second.class_slab_distribution())
+        # The run-2 rows carry run-2 snapshots (pre-fix they showed the
+        # 2 MiB cache's frozen layout) ...
+        assert timeline.rows[-1]["class_slabs"] == {
+            str(c): n for c, n in result.final_class_slabs.items() if n}
+        # ... and the live hook points at the second cache.
+        cls_now, queues_now = timeline.snapshot_fn()
+        assert cls_now == second.class_slab_distribution()
+        assert queues_now == second.slab_distribution()
+
+    def test_attach_timeline_always_rebinds(self):
+        timeline = obs.TimelineRecorder(stride=STRIDE)
+        stale = lambda: ({}, {})  # noqa: E731 - stand-in for an old bind
+        timeline.snapshot_fn = stale
+        cache = _fresh_cache()
+        cache.attach_timeline(timeline)
+        assert timeline.snapshot_fn is not stale
+        assert timeline.snapshot_fn() == (cache.class_slab_distribution(),
+                                          cache.slab_distribution())

@@ -48,6 +48,26 @@ class TestSimulate:
         assert "memcached" in capsys.readouterr().out
 
 
+class TestReplayShards:
+    def test_simulate_sharded_replay(self, capsys):
+        assert main(["simulate", "--requests", "4000", "--scale", "0.02",
+                     "--cache-size", "2MiB", "--slab-size", "64KiB",
+                     "--policy", "pama", "--window", "1000",
+                     "--replay-shards", "2", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "shards" in out and "2" in out
+        assert "hit ratio" in out
+
+    def test_profile_sharded_replay(self, capsys):
+        assert main(["profile", "--requests", "2000", "--scale", "0.02",
+                     "--cache-size", "2MiB", "--slab-size", "64KiB",
+                     "--policy", "pama", "--replay-shards", "2",
+                     "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "2 shards" in out
+        assert "cumulative" in out  # pstats table rendered
+
+
 class TestCompare:
     def test_compare_policies(self, capsys):
         assert main(["compare", "--requests", "5000", "--scale", "0.02",
